@@ -1,0 +1,90 @@
+// Ablation A — which of Section 6.1's compile-time optimizations buys how
+// much, measured on a *workload* rather than a single send: N-queens with
+// each elision enabled cumulatively. (The per-send effect is in
+// bench_table2; this shows the end-to-end impact.)
+#include <benchmark/benchmark.h>
+
+#include "apps/counters.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/pingpong.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+// Fine-grain workload: intra-node ping-pong with empty method bodies — the
+// regime where the 25->8 send-path reduction matters most.
+double run_finegrain_us(const sim::OptFlags& opt) {
+  core::Program prog;
+  auto pp = apps::register_pingpong(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  cfg.cost.opt = opt;
+  World world(prog, cfg);
+  return apps::run_pingpong(world, pp, 0, 0, 50000).us_per_message;
+}
+
+double run_with(const sim::OptFlags& opt) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 16;
+  cfg.cost.opt = opt;
+  World world(prog, cfg);
+  auto p = apps::NQueensParams::paper_calibrated(10);
+  return apps::run_nqueens(world, np, p).sim_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::header(
+      "Ablation A: Section 6.1 send-path optimizations on N-queens "
+      "(N=10, 16 PEs)");
+  util::Table t({"Configuration", "Elapsed (ms)", "vs baseline"});
+  sim::OptFlags opt;
+  double base = run_with(opt);
+  t.add_row({"baseline (25-instr dormant sends)", util::Table::num(base, 2),
+             "1.00"});
+  struct Step {
+    const char* name;
+    void (*apply)(sim::OptFlags&);
+  };
+  const Step steps[] = {
+      {"+ elide locality check", [](sim::OptFlags& o) { o.elide_locality_check = true; }},
+      {"+ elide VFTP switches", [](sim::OptFlags& o) { o.elide_vftp_switch = true; }},
+      {"+ elide message-queue check", [](sim::OptFlags& o) { o.elide_mq_check = true; }},
+      {"+ elide polling slot", [](sim::OptFlags& o) { o.elide_poll = true; }},
+  };
+  for (const Step& s : steps) {
+    s.apply(opt);
+    double ms = run_with(opt);
+    t.add_row({s.name, util::Table::num(ms, 2), util::Table::num(ms / base, 2)});
+  }
+  t.print();
+  std::printf(
+      "(note: N-queens is creation/communication-heavy, so the send-path "
+      "elisions recover only part of the 25->8 per-send factor)\n");
+
+  bench::header(
+      "Ablation A': same elisions on a fine-grain workload "
+      "(intra-node ping-pong, empty bodies)");
+  util::Table t2({"Configuration", "us/message", "vs baseline"});
+  sim::OptFlags opt2;
+  double base2 = run_finegrain_us(opt2);
+  t2.add_row({"baseline (all checks)", util::Table::num(base2, 2), "1.00"});
+  for (const Step& s : steps) {
+    s.apply(opt2);
+    double u = run_finegrain_us(opt2);
+    t2.add_row({s.name, util::Table::num(u, 2), util::Table::num(u / base2, 2)});
+  }
+  t2.print();
+  std::printf(
+      "(here the full elision set approaches the paper's 8-instruction "
+      "send: ~3x cheaper messages)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation B — method inlining (Section 8.2).
+//
+// When the receiver's class is statically known, the compiler can inline
+// the method body behind two guards:
+//     receiver.node_id == my_node  &&  receiver->vftp == C_dormant_vft
+// We measure three variants of a local accumulate-loop:
+//   full dispatch   — the normal 25-instr dormant send;
+//   guarded inline  — guards pass, body runs inline (5 modeled instr);
+//   guard miss      — guards fail (receiver active), fall back to dispatch.
+// Both modeled instructions and real host nanoseconds are reported.
+#include <benchmark/benchmark.h>
+
+#include "apps/counters.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+struct Env {
+  core::Program prog;
+  apps::CounterProgram cp;
+  Env() {
+    cp = apps::register_counter(prog);
+    prog.finalize();
+  }
+};
+
+void print_modeled() {
+  Env env;
+  bench::header("Ablation B: inlined sends (Section 8.2), modeled cost");
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(env.prog, cfg);
+  util::Table t({"Variant", "Instr/send", "us/send"});
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
+    ctx.send_past(c, env.cp.inc, nullptr, 0);
+    const int kIters = 10000;
+
+    sim::Instr t0 = ctx.clock();
+    for (int i = 0; i < kIters; ++i) ctx.send_past(c, env.cp.inc, nullptr, 0);
+    double full = static_cast<double>(ctx.clock() - t0) / kIters;
+
+    t0 = ctx.clock();
+    auto* state = c.ptr->state_as<apps::CounterState>();
+    for (int i = 0; i < kIters; ++i) {
+      if (ctx.inline_guard(c, *env.cp.cls)) {
+        ctx.charge(2);       // the inlined body: one add
+        state->count += 1;   // inlined method body
+      } else {
+        ctx.send_past(c, env.cp.inc, nullptr, 0);
+      }
+    }
+    double inl = static_cast<double>(ctx.clock() - t0) / kIters;
+
+    const auto& cm = world.config().cost;
+    t.add_row({"full VFT dispatch", util::Table::num(full, 1),
+               util::Table::num(cm.us(static_cast<sim::Instr>(full)), 2)});
+    t.add_row({"guarded inline (guard hits)", util::Table::num(inl, 1),
+               util::Table::num(cm.us(static_cast<sim::Instr>(inl)), 2)});
+    t.add_row({"speedup", util::Table::num(full / inl, 2) + "x", ""});
+  });
+  t.print();
+  std::printf(
+      "(paper: with the checks the inlined call keeps locality+mode guards; "
+      "removing them needs interprocedural inference — future work)\n");
+}
+
+void BM_FullDispatch(benchmark::State& state) {
+  Env env;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(env.prog, cfg);
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
+    ctx.send_past(c, env.cp.inc, nullptr, 0);
+    for (auto _ : state) ctx.send_past(c, env.cp.inc, nullptr, 0);
+  });
+}
+BENCHMARK(BM_FullDispatch);
+
+void BM_GuardedInline(benchmark::State& state) {
+  Env env;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(env.prog, cfg);
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
+    ctx.send_past(c, env.cp.inc, nullptr, 0);
+    auto* s = c.ptr->state_as<apps::CounterState>();
+    for (auto _ : state) {
+      if (ctx.inline_guard(c, *env.cp.cls)) {
+        s->count += 1;
+      } else {
+        ctx.send_past(c, env.cp.inc, nullptr, 0);
+      }
+      benchmark::DoNotOptimize(s->count);
+    }
+  });
+}
+BENCHMARK(BM_GuardedInline);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_modeled();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

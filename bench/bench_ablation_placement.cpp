@@ -1,0 +1,80 @@
+// Ablation D — placement policies for remote creation (Section 2.5).
+//
+// "To provide the programmer with locality control, we provide two
+// primitives, local create and remote create. In remote creation, the
+// system determines where the object is created based on local
+// information." This bench quantifies the choice of that local decision on
+// N-queens: spreading policies (round-robin/random) maximize parallelism
+// but make every message remote; neighbor placement trades parallel width
+// for shorter wires; self placement degenerates to sequential.
+#include <benchmark/benchmark.h>
+
+#include "apps/nqueens.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+struct Row {
+  double ms = 0;
+  double remote_frac = 0;
+  double dormant_frac = 0;
+};
+
+Row run_with(remote::PlacementKind kind, int nodes, int n) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.placement = kind;
+  if (kind == remote::PlacementKind::kLeastLoaded) {
+    cfg.node.gossip_interval = 8;  // the policy is blind without the service
+  }
+  World world(prog, cfg);
+  auto p = apps::NQueensParams::paper_calibrated(n);
+  auto r = apps::run_nqueens(world, np, p);
+  Row row;
+  row.ms = r.sim_ms;
+  std::uint64_t total = r.stats.local_sends + r.stats.remote_sends;
+  row.remote_frac = total == 0 ? 0
+                               : static_cast<double>(r.stats.remote_sends) /
+                                     static_cast<double>(total);
+  row.dormant_frac = r.stats.local_sends == 0
+                         ? 0
+                         : static_cast<double>(r.stats.local_to_dormant) /
+                               static_cast<double>(r.stats.local_sends);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::header(
+      "Ablation D: remote-creation placement policies (N-queens N=10, 64 PEs)");
+  util::Table t({"Policy", "Elapsed (ms)", "Remote msgs", "Local msgs to dormant"});
+  struct P {
+    const char* name;
+    remote::PlacementKind kind;
+  };
+  const P policies[] = {
+      {"round-robin", remote::PlacementKind::kRoundRobin},
+      {"random", remote::PlacementKind::kRandom},
+      {"neighbor (1-hop)", remote::PlacementKind::kNeighbor},
+      {"least-loaded (gossip)", remote::PlacementKind::kLeastLoaded},
+      {"self (sequential)", remote::PlacementKind::kSelf},
+  };
+  for (const P& p : policies) {
+    Row r = run_with(p.kind, 64, 10);
+    t.add_row({p.name, util::Table::num(r.ms, 1), bench::pct(r.remote_frac),
+               bench::pct(r.dormant_frac)});
+  }
+  t.print();
+  std::printf(
+      "(spreading policies buy parallel width at the price of all-remote "
+      "traffic; neighbor placement keeps wires short but bounds the width "
+      "to the local neighbourhood)\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the Table/Figure bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "abcl/abcl.hpp"
+#include "util/table.hpp"
+
+namespace abcl::bench {
+
+inline int env_int(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : dflt;
+}
+
+inline void header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline std::string us(double v) { return util::Table::num(v, 2) + " us"; }
+inline std::string ms(double v) { return util::Table::num(v, 1) + " ms"; }
+inline std::string pct(double v) { return util::Table::num(v * 100.0, 0) + "%"; }
+
+}  // namespace abcl::bench

@@ -1,0 +1,60 @@
+// Figure 5 — speedup of the N-queens program vs number of processors.
+//
+// Paper: N=8 saturates around 20x (64 PEs); N=13 reaches ~440x on 512 PEs
+// (~85% utilization). Speedup is measured exactly as in the paper: elapsed
+// time of the *sequential* program (same algorithm, stack-based DFS, same
+// per-node work) divided by the parallel program's elapsed time, both in
+// modeled machine time.
+//
+// Defaults sweep N=8 and N=12 up to 512 simulated nodes; set
+// ABCLSIM_NQUEENS_MAX=13 for the full-scale curve (minutes of host time).
+#include <benchmark/benchmark.h>
+
+#include "apps/nqueens.hpp"
+#include "apps/nqueens_seq.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+void run_series(int n) {
+  auto p = apps::NQueensParams::paper_calibrated(n);
+  auto seq = apps::nqueens_seq(n, p.charge_base, p.charge_per_col);
+  const auto cost = sim::CostModel::ap1000();
+
+  std::printf("\nN = %d  (sequential: %s solutions, %.1f ms modeled)\n", n,
+              util::Table::num(static_cast<std::uint64_t>(seq.solutions)).c_str(),
+              cost.ms(seq.charged));
+  util::Table t({"Processors", "Elapsed (ms)", "Speedup", "Utilization"});
+  for (int nodes : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    core::Program prog;
+    auto np = apps::register_nqueens(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = nodes;
+    World world(prog, cfg);
+    auto r = apps::run_nqueens(world, np, p);
+    double speedup = static_cast<double>(seq.charged) /
+                     static_cast<double>(r.sim_time);
+    t.add_row({std::to_string(nodes), util::Table::num(r.sim_ms, 2),
+               util::Table::num(speedup, 1),
+               bench::pct(speedup / nodes)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // accepted for interface uniformity
+  bench::header("Figure 5: speedup for the N-queens problem");
+  int max_n = bench::env_int("ABCLSIM_NQUEENS_MAX", 12);
+  run_series(8);
+  if (max_n >= 12) run_series(12);
+  if (max_n >= 13) run_series(13);
+  std::printf(
+      "\npaper reference points: N=8 -> ~20x on 64 PEs (saturating); "
+      "N=13 -> ~440x on 512 PEs (~85%% utilization)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Table 3 — comparison of send/reply latency (a remote now-type method
+// invocation: request + reply).
+//
+// Paper rows (4th PPOPP, Table 3; J-Machine/EM4 figures as the paper cites
+// them): ABCL/onAP1000 ~160 instructions, 17.8 us, ~450 cycles at 25 MHz;
+// ABCL/onEM4 ~9 us (~110 cycles, 12.5 MHz); CST on the J-Machine ~220
+// cycles (~17.6 us at 12.5 MHz). The paper's point: the stock-hardware
+// implementation is within ~2-4x of the fine-grain machines once
+// normalized to clock speed.
+//
+// We measure the same quantity in the simulator: a blocked now-type call to
+// a remote object, request and reply crossing the wire, context save +
+// resume on the sender.
+#include <benchmark/benchmark.h>
+
+#include "apps/counters.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+// RoundTripper: "rt.go" [target_node, target_ptr, get_pat, n] — performs n
+// sequential now-type calls, awaiting each reply.
+struct RtState {
+  std::int64_t done_calls = 0;
+};
+
+struct RtGoFrame : Frame {
+  MailAddr target;
+  PatternId get_pat = 0;
+  std::int64_t n = 0;
+  std::int64_t i = 0;
+  NowCall call;
+  static void init(RtGoFrame& f, const Msg& m) {
+    f.target = m.addr(0);
+    f.get_pat = static_cast<PatternId>(m.at(2));
+    f.n = m.i64(3);
+  }
+  static Status run(Ctx& ctx, RtState& self, RtGoFrame& f) {
+    ABCL_BEGIN(f);
+    while (f.i < f.n) {
+      f.call = ctx.send_now(f.target, f.get_pat, nullptr, 0);
+      ABCL_AWAIT(ctx, f, 1, f.call);
+      ctx.take_reply(f.call);
+      f.i += 1;
+      self.done_calls += 1;
+    }
+    ABCL_END();
+  }
+};
+
+struct RoundTrip {
+  double us_per_roundtrip = 0;
+  double instr_per_roundtrip = 0;
+};
+
+RoundTrip measure_roundtrip(int nodes, NodeId a, NodeId b, int iters) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  PatternId go = prog.patterns().intern("rt.go", 4);
+  ClassDef<RtState> def(prog, "RoundTripper");
+  def.method<RtGoFrame>(go);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  World world(prog, cfg);
+  MailAddr c;
+  world.boot(b, [&](Ctx& ctx) {
+    c = ctx.create_local(*cp.cls, nullptr, 0);
+    ctx.send_past(c, cp.inc, nullptr, 0);
+  });
+  world.run();
+  sim::Instr t0 = world.max_clock();
+  world.boot(a, [&](Ctx& ctx) {
+    MailAddr rt = ctx.create_local(def.info(), nullptr, 0);
+    Word args[4] = {c.word_node(), c.word_ptr(), cp.get,
+                    static_cast<Word>(iters)};
+    ctx.send_past(rt, go, args, 4);
+  });
+  world.run();
+  sim::Instr dt = world.max_clock() - t0;
+  RoundTrip r;
+  r.us_per_roundtrip = cfg.cost.us(dt) / iters;
+  r.instr_per_roundtrip = static_cast<double>(dt) / iters;
+  return r;
+}
+
+void print_table3() {
+  RoundTrip inter = measure_roundtrip(2, 0, 1, 20000);
+  RoundTrip intra = measure_roundtrip(1, 0, 0, 20000);
+
+  bench::header("Table 3: send/reply latency comparison");
+  util::Table t(
+      {"System", "Instr", "Real time (us)", "Cycles", "Clock (MHz)"});
+  t.add_row({"ABCL/onAP1000 (paper)", "160", "17.8", "450", "25"});
+  t.add_row({"ABCL/onEM4 (paper)", "-", "9.0", "~110", "12.5"});
+  t.add_row({"CST / J-Machine (paper)", "-", "17.6", "~220", "12.5"});
+  t.add_row({"abclsim inter-node (measured)",
+             util::Table::num(inter.instr_per_roundtrip, 0),
+             util::Table::num(inter.us_per_roundtrip, 1),
+             util::Table::num(inter.us_per_roundtrip * 25.0, 0), "25"});
+  t.add_row({"abclsim intra-node now-call (measured)",
+             util::Table::num(intra.instr_per_roundtrip, 0),
+             util::Table::num(intra.us_per_roundtrip, 1),
+             util::Table::num(intra.us_per_roundtrip * 25.0, 0), "25"});
+  t.print();
+  std::printf(
+      "(paper: send+reply ~ 2x CST, ~4x EM4 when normalized to clock)\n");
+}
+
+void BM_RemoteNowCallRoundTrip(benchmark::State& state) {
+  // Host time of the full simulated round trip (driver + runtime + net).
+  std::uint64_t calls = 0;
+  for (auto _ : state) {
+    auto r = measure_roundtrip(2, 0, 1, 2000);
+    benchmark::DoNotOptimize(r.us_per_roundtrip);
+    calls += 2000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(calls));
+}
+BENCHMARK(BM_RemoteNowCallRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

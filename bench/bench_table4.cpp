@@ -1,0 +1,91 @@
+// Table 4 — the scale of the N-queens program.
+//
+// Paper (N=8 / N=13):
+//   # of solutions            92            / 73,712
+//   # of object creations     2,056         / 4,636,210
+//   # of messages             4,104         / 9,349,765
+//   total memory used (KB)    130           / 549,463
+//   elapsed time on SS1+ (ms) 84            / 461,955
+//
+// We run the same actor program (one object per tree node, go + done
+// messages) and the same sequential baseline under the paper-calibrated
+// work model. N=13 takes several GB of simulated heap and minutes of host
+// time; it is enabled with ABCLSIM_NQUEENS_MAX=13 (default sweeps 8..12).
+#include <benchmark/benchmark.h>
+
+#include "apps/nqueens.hpp"
+#include "apps/nqueens_seq.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+void print_table4() {
+  int max_n = bench::env_int("ABCLSIM_NQUEENS_MAX", 12);
+  bench::header("Table 4: the scale of the N-queen program");
+  util::Table t({"N", "Solutions", "Creations", "Messages", "Memory (KB)",
+                 "Seq elapsed (ms, model)", "Seq elapsed (ms, host)"});
+
+  for (int n = 8; n <= max_n; ++n) {
+    core::Program prog;
+    auto np = apps::register_nqueens(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = 64;
+    World world(prog, cfg);
+    auto p = apps::NQueensParams::paper_calibrated(n);
+    auto r = apps::run_nqueens(world, np, p);
+    auto seq = apps::nqueens_seq(n, p.charge_base, p.charge_per_col);
+    t.add_row({std::to_string(n), util::Table::num(static_cast<std::uint64_t>(r.solutions)),
+               util::Table::num(r.objects_created), util::Table::num(r.messages),
+               util::Table::num(static_cast<std::uint64_t>(r.heap_bytes / 1024)),
+               util::Table::num(cfg.cost.ms(seq.charged), 1),
+               util::Table::num(seq.host_seconds * 1000.0, 2)});
+  }
+  t.print();
+  std::printf(
+      "paper:  N=8:  92 solutions, 2,056 creations, 4,104 messages, 130 KB, "
+      "84 ms\n"
+      "        N=13: 73,712 solutions, 4,636,210 creations, 9,349,765 "
+      "messages, 549,463 KB, 461,955 ms\n"
+      "(set ABCLSIM_NQUEENS_MAX=13 to run the full-scale row)\n");
+}
+
+void BM_NQueensSeqHost(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  std::int64_t sols = 0;
+  for (auto _ : state) {
+    auto r = apps::nqueens_seq(n, 0, 0);
+    sols = r.solutions;
+    benchmark::DoNotOptimize(sols);
+  }
+  state.counters["solutions"] = static_cast<double>(sols);
+}
+BENCHMARK(BM_NQueensSeqHost)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_NQueensActorHost(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Program prog;
+    auto np = apps::register_nqueens(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = 16;
+    World world(prog, cfg);
+    apps::NQueensParams p;
+    p.n = n;
+    auto r = apps::run_nqueens(world, np, p);
+    benchmark::DoNotOptimize(r.solutions);
+  }
+}
+BENCHMARK(BM_NQueensActorHost)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Prime sieve as a growing actor pipeline.
+//
+//   $ ./prime_sieve [limit] [nodes]
+//
+// Each prime becomes a Filter object placed by the node-local placement
+// policy; candidate numbers stream down the chain. Watch the runtime
+// counters: chain growth blocks on cold chunk stocks (split-phase), while
+// the steady stream rides the dormant fast path.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/sieve.hpp"
+
+using namespace abcl;
+
+int main(int argc, char** argv) {
+  std::int64_t limit = argc > 1 ? std::atoll(argv[1]) : 2000;
+  int nodes = argc > 2 ? std::atoi(argv[2]) : 16;
+  if (limit < 2 || nodes < 1) {
+    std::fprintf(stderr, "usage: %s [limit >= 2] [nodes]\n", argv[0]);
+    return 1;
+  }
+
+  core::Program prog;
+  apps::SieveProgram sp = apps::register_sieve(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  World world(prog, cfg);
+  apps::SieveResult r = apps::run_sieve(world, sp, limit);
+
+  std::printf("sieve up to %lld on %d simulated nodes\n",
+              static_cast<long long>(limit), nodes);
+  std::printf("  primes found       : %lld (filter chain length)\n",
+              static_cast<long long>(r.primes));
+  std::printf("  simulated time     : %.3f ms\n", r.rep.sim_ms);
+  std::printf("  local msgs dormant : %.0f%%\n",
+              100.0 * static_cast<double>(r.stats.local_to_dormant) /
+                  static_cast<double>(r.stats.local_sends));
+  std::printf("  chain growths that blocked (cold stock): %llu\n",
+              static_cast<unsigned long long>(r.stats.blocks_await));
+  std::printf("  remote messages    : %llu\n",
+              static_cast<unsigned long long>(r.stats.remote_sends));
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Umbrella header: the public API of the abclsim library.
+//
+// Typical usage:
+//
+//   core::Program prog;
+//   auto patterns = /* intern patterns */;
+//   abcl::ClassDef<MyState> def(prog, "My");   // register classes/methods
+//   prog.finalize();
+//
+//   abcl::WorldConfig cfg; cfg.nodes = 64;
+//   abcl::World world(prog, cfg);
+//   world.boot(0, [&](abcl::Ctx& ctx) { /* create roots, send messages */ });
+//   abcl::RunReport rep = world.run();
+#pragma once
+
+#include "abcl/args.hpp"
+#include "abcl/class_def.hpp"
+#include "abcl/dsl.hpp"
+#include "abcl/machine_api.hpp"
+#include "abcl/termination.hpp"

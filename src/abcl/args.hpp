@@ -1,0 +1,65 @@
+// Typed argument packing for message sends and creation.
+//
+// Messages and creation requests carry untyped 64-bit words (the statically
+// typed layout is known to both ends, so no runtime tags are needed —
+// Section 2.3). These helpers remove the Word[] boilerplate at call sites:
+//
+//   ctx.send_past(target, pat, abcl::args(n, addr, rd));
+//
+// An ArgPack is a fixed-capacity value buffer; MailAddr and ReplyDest
+// expand to their two-word encodings automatically.
+#pragma once
+
+#include <type_traits>
+
+#include "core/frame.hpp"
+#include "core/mail_addr.hpp"
+
+namespace abcl {
+
+class ArgPack {
+ public:
+  const core::Word* data() const { return words_; }
+  int size() const { return n_; }
+
+  // NodeRuntime's send/create overloads take WordSpan.
+  operator core::WordSpan() const { return core::WordSpan{words_, n_}; }  // NOLINT
+
+  void push(core::Word w) {
+    ABCL_CHECK_MSG(n_ < core::kMaxArgs, "message arity limit exceeded");
+    words_[n_++] = w;
+  }
+
+  template <class T>
+  void add(const T& v) {
+    if constexpr (std::is_same_v<T, core::MailAddr>) {
+      push(v.word_node());
+      push(v.word_ptr());
+    } else if constexpr (std::is_same_v<T, core::ReplyDest>) {
+      push(v.word_node());
+      push(v.word_box());
+    } else if constexpr (std::is_pointer_v<T>) {
+      push(reinterpret_cast<core::Word>(v));
+    } else if constexpr (std::is_enum_v<T>) {
+      push(static_cast<core::Word>(v));
+    } else {
+      static_assert(std::is_integral_v<T>,
+                    "pass integers, enums, pointers, MailAddr or ReplyDest");
+      push(static_cast<core::Word>(v));
+    }
+  }
+
+ private:
+  core::Word words_[core::kMaxArgs];
+  int n_ = 0;
+};
+
+// Builds an ArgPack from a heterogeneous argument list.
+template <class... Ts>
+ArgPack args(const Ts&... vs) {
+  ArgPack p;
+  (p.add(vs), ...);
+  return p;
+}
+
+}  // namespace abcl

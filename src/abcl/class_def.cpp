@@ -1,0 +1,4 @@
+#include "abcl/class_def.hpp"
+
+// Header-only implementation; this TU anchors the component in the library.
+namespace abcl {}

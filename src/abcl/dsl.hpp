@@ -1,0 +1,91 @@
+// Method-body DSL: the control-flow macros methods use for blocking
+// operations. A method body is a pc-indexed state machine:
+//
+//   Status GetFrame::run(Ctx& ctx, Buffer& self, GetFrame& f) {
+//     ABCL_BEGIN(f);
+//     ...                                  // pc == 0: fresh invocation
+//     ABCL_AWAIT(ctx, f, 1, f.call);       // block until the reply arrives
+//     x = ctx.take_reply(f.call);
+//     ...
+//     ABCL_END();
+//   }
+//
+// Rules (enforced where possible by static_asserts in core/dispatch.hpp):
+//  * every local that must survive a blocking point lives in the frame;
+//  * case labels (the `label` arguments) are unique small integers > 0;
+//  * frames are trivially copyable.
+#pragma once
+
+#include "abcl/class_def.hpp"
+
+// Opens the state machine.
+#define ABCL_BEGIN(f) \
+  switch ((f).pc) {   \
+    case 0:
+
+// Closes the state machine (normal completion).
+#define ABCL_END()                 \
+  break;                           \
+  default:                         \
+    ABCL_UNREACHABLE();            \
+  }                                \
+  return ::abcl::Status::kDone
+
+// Explicit early completion from inside the switch.
+#define ABCL_RETURN() return ::abcl::Status::kDone
+
+// Awaits a now-type reply (or a pending remote creation's chunk). If the
+// reply has already arrived — the common case under stack scheduling — the
+// method continues without blocking.
+#define ABCL_AWAIT(ctx, f, label, call)                       \
+  (f).pc = (label);                                           \
+  if (!(ctx).reply_ready((call))) {                           \
+    return (ctx).block_await((call));                         \
+  }                                                           \
+  [[fallthrough]];                                            \
+  case (label):
+
+// Selective reception: waits for any pattern accepted by `site`. The
+// message queue is scanned first (the paper: "the object is not blocked as
+// long as it finds an awaited message when it first checks its message
+// queue"); on a hit, the site's copy-in lands the arguments in the frame
+// and execution continues at the accept's resume_pc.
+#define ABCL_SELECT(ctx, self, f, site)                                   \
+  do {                                                                    \
+    std::uint16_t abcl_npc = (ctx).select_try((site), &(f));              \
+    if (abcl_npc == ::abcl::core::kPcBlocked) {                           \
+      return (ctx).block_select((site));                                  \
+    }                                                                     \
+    (f).pc = abcl_npc;                                                    \
+    return std::remove_reference_t<decltype(f)>::run((ctx), (self), (f)); \
+  } while (0)
+
+// Hybrid wait (Section 2.2 action 4): wait for the call's reply OR any
+// pattern accepted by `site`, whichever arrives first. On a reply the
+// method continues at `case label`; on an accepted message it continues at
+// that accept's resume_pc with its copy-in applied, and the reply
+// registration is cancelled (a later reply just fills the box — AWAIT it
+// again to consume it). The message queue is scanned before blocking.
+#define ABCL_AWAIT_OR_SELECT(ctx, self, f, label, call, site)               \
+  (f).pc = (label);                                                         \
+  if (!(ctx).reply_ready((call))) {                                         \
+    std::uint16_t abcl_npc = (ctx).select_try((site), &(f));                \
+    if (abcl_npc != ::abcl::core::kPcBlocked) {                             \
+      (f).pc = abcl_npc;                                                    \
+      return std::remove_reference_t<decltype(f)>::run((ctx), (self), (f)); \
+    }                                                                       \
+    return (ctx).block_await_select((call), (site));                        \
+  }                                                                         \
+  [[fallthrough]];                                                          \
+  case (label):
+
+// Voluntary preemption point for long loops / deep recursions: spills the
+// frame and round-trips the scheduling queue when the reduction budget for
+// this quantum is exhausted.
+#define ABCL_YIELD(ctx, f, label)       \
+  (f).pc = (label);                     \
+  if ((ctx).should_yield()) {           \
+    return (ctx).block_yield();         \
+  }                                     \
+  [[fallthrough]];                      \
+  case (label):

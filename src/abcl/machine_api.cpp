@@ -1,0 +1,120 @@
+#include "abcl/machine_api.hpp"
+
+#include "util/assert.hpp"
+
+namespace abcl {
+
+World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
+  ABCL_CHECK_MSG(prog.finalized(), "finalize the Program before building a World");
+  ABCL_CHECK(cfg_.nodes >= 1);
+
+  net_ = std::make_unique<net::Network>(
+      net::Topology(cfg_.topology, cfg_.nodes), &cfg_.cost);
+
+  nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+    core::NodeRuntime::Config nc = cfg_.node;
+    nc.seed = cfg_.seed;
+    auto rt = std::make_unique<core::NodeRuntime>(i, prog, *net_, cfg_.cost, nc);
+    rt->placement().set_kind(cfg_.placement);
+    nodes_.push_back(std::move(rt));
+  }
+
+  std::vector<sim::NodeExec*> execs;
+  execs.reserve(nodes_.size());
+  for (auto& n : nodes_) execs.push_back(n.get());
+  machine_ = std::make_unique<sim::Machine>(std::move(execs));
+
+  net_->set_on_deliverable(
+      [m = machine_.get()](core::NodeId dst) { m->notify_work(dst); });
+}
+
+void World::boot(core::NodeId id,
+                 const std::function<void(core::NodeRuntime&)>& fn) {
+  ABCL_CHECK(id >= 0 && id < cfg_.nodes);
+  node(id).boot(fn);
+}
+
+RunReport World::run(sim::Instr max_time) {
+  sim::Machine::RunReport r = machine_->run(max_time);
+  RunReport out;
+  out.sim_time = r.end_time;
+  out.quanta = r.quanta;
+  out.sim_ms = cfg_.cost.ms(r.end_time);
+  return out;
+}
+
+void World::seed_stocks(const core::ClassInfo& cls, int depth) {
+  for (auto& consumer : nodes_) {
+    for (auto& producer : nodes_) {
+      if (consumer.get() == producer.get()) continue;
+      consumer->seed_stock_from(*producer, cls, depth);
+    }
+  }
+}
+
+void World::attach_tracer(sim::Tracer* tracer) {
+  for (auto& n : nodes_) n->set_tracer(tracer);
+}
+
+util::Table World::utilization_table() const {
+  util::Table t({"Node", "Busy (instr)", "Idle (instr)", "Utilization",
+                 "Objects created", "Sched dispatches"});
+  for (const auto& n : nodes_) {
+    const core::NodeStats& s = n->stats();
+    sim::Instr total = s.busy_instr + s.idle_instr;
+    double util = total == 0 ? 0.0
+                             : static_cast<double>(s.busy_instr) /
+                                   static_cast<double>(total);
+    t.add_row({std::to_string(n->node_id()), util::Table::num(s.busy_instr),
+               util::Table::num(s.idle_instr),
+               util::Table::num(util * 100.0, 1) + "%",
+               util::Table::num(n->total_created()),
+               util::Table::num(s.sched_dispatches)});
+  }
+  return t;
+}
+
+double World::mean_utilization() const {
+  sim::Instr end = max_clock();
+  if (end == 0) return 0.0;
+  double sum = 0;
+  for (const auto& n : nodes_) {
+    sum += static_cast<double>(n->stats().busy_instr) / static_cast<double>(end);
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+core::NodeStats World::total_stats() const {
+  core::NodeStats total;
+  for (const auto& n : nodes_) total.merge(n->stats());
+  return total;
+}
+
+std::size_t World::total_live_objects() const {
+  std::size_t t = 0;
+  for (const auto& n : nodes_) t += n->live_objects();
+  return t;
+}
+
+std::uint64_t World::total_created_objects() const {
+  std::uint64_t t = 0;
+  for (const auto& n : nodes_) t += n->total_created();
+  return t;
+}
+
+std::size_t World::total_heap_bytes() const {
+  std::size_t t = 0;
+  for (const auto& n : nodes_) t += n->heap_bytes();
+  return t;
+}
+
+sim::Instr World::max_clock() const {
+  sim::Instr t = 0;
+  for (const auto& n : nodes_) {
+    if (n->clock() > t) t = n->clock();
+  }
+  return t;
+}
+
+}  // namespace abcl

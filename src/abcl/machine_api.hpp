@@ -1,0 +1,85 @@
+// World: the whole simulated multicomputer behind one facade.
+//
+// Owns the network, one NodeRuntime per node and the PDES driver; provides
+// bootstrapping, the run-to-quiescence loop, chunk-stock seeding and
+// aggregate reporting. A World is built from a finalized Program and a
+// WorldConfig; everything is deterministic given (program, config).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/node_runtime.hpp"
+#include "net/network.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "util/table.hpp"
+
+namespace abcl {
+
+struct WorldConfig {
+  std::int32_t nodes = 1;
+  net::TopologyKind topology = net::TopologyKind::kTorus2D;
+  sim::CostModel cost = sim::CostModel::ap1000();
+  core::NodeRuntime::Config node;
+  remote::PlacementKind placement = remote::PlacementKind::kRoundRobin;
+  std::uint64_t seed = 1;
+};
+
+struct RunReport {
+  sim::Instr sim_time = 0;       // end-of-run instant (max node clock)
+  std::uint64_t quanta = 0;      // scheduling quanta executed
+  double sim_ms = 0.0;           // sim_time at the model's clock rate
+};
+
+class World {
+ public:
+  World(core::Program& prog, WorldConfig cfg);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  std::int32_t num_nodes() const { return cfg_.nodes; }
+  core::NodeRuntime& node(core::NodeId id) {
+    return *nodes_[static_cast<std::size_t>(id)];
+  }
+  net::Network& network() { return *net_; }
+  sim::Machine& machine() { return *machine_; }
+  const WorldConfig& config() const { return cfg_; }
+
+  // Runs `fn` as bootstrap code on `node` (typically: create the root
+  // objects and send the first messages).
+  void boot(core::NodeId id, const std::function<void(core::NodeRuntime&)>& fn);
+
+  // Runs the machine to quiescence (all nodes idle, no packets in flight).
+  RunReport run(sim::Instr max_time = sim::kInstrInf);
+
+  // Pre-delivers `depth` chunks of `cls`'s size class from every node into
+  // every other node's stock (warm start for creation-heavy workloads).
+  void seed_stocks(const core::ClassInfo& cls, int depth);
+
+  // Attaches an execution tracer to every node (nullptr detaches).
+  void attach_tracer(sim::Tracer* tracer);
+
+  // Per-node utilization summary (busy vs idle instructions) as a printable
+  // table, plus machine-wide figures — useful after any run.
+  util::Table utilization_table() const;
+  double mean_utilization() const;
+
+  // Aggregates across nodes.
+  core::NodeStats total_stats() const;
+  std::size_t total_live_objects() const;
+  std::uint64_t total_created_objects() const;
+  std::size_t total_heap_bytes() const;
+  sim::Instr max_clock() const;
+
+ private:
+  WorldConfig cfg_;
+  core::Program* prog_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<core::NodeRuntime>> nodes_;
+  std::unique_ptr<sim::Machine> machine_;
+};
+
+}  // namespace abcl

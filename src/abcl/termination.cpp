@@ -1,0 +1,77 @@
+#include "abcl/termination.hpp"
+
+#include "abcl/dsl.hpp"
+
+namespace abcl {
+
+namespace {
+
+CompletionPatterns g_pats;  // ids are per-Program; stored for the frames
+
+struct ExpectFrame : Frame {
+  std::int64_t n;
+  static void init(ExpectFrame& f, const Msg& m) { f.n = m.i64(0); }
+  static Status run(Ctx& ctx, CompletionLatch& self, ExpectFrame& f) {
+    (void)ctx;
+    self.expected = f.n;
+    self.armed = true;
+    return Status::kDone;
+  }
+};
+
+struct DoneFrame : Frame {
+  std::int64_t count;
+  static void init(DoneFrame& f, const Msg& m) { f.count = m.i64(0); }
+  static Status run(Ctx& ctx, CompletionLatch& self, DoneFrame& f) {
+    self.received += 1;
+    self.total += f.count;
+    if (self.done() && !self.pending_get.is_nil()) {
+      Word v = static_cast<Word>(self.total);
+      ctx.reply(self.pending_get, &v, 1);
+      self.pending_get = core::kNilReply;
+    }
+    return Status::kDone;
+  }
+};
+
+struct GetFrame : Frame {
+  ReplyDest rd;
+  static void init(GetFrame& f, const Msg& m) { f.rd = m.reply; }
+  static Status run(Ctx& ctx, CompletionLatch& self, GetFrame& f) {
+    if (self.done()) {
+      Word v = static_cast<Word>(self.total);
+      ctx.reply(f.rd, &v, 1);
+    } else {
+      ABCL_CHECK_MSG(self.pending_get.is_nil(),
+                     "CompletionLatch supports one pending get");
+      self.pending_get = f.rd;
+    }
+    return Status::kDone;
+  }
+};
+
+}  // namespace
+
+CompletionPatterns register_completion_latch(core::Program& prog) {
+  CompletionPatterns p;
+  p.expect = prog.patterns().intern("latch.expect", 1);
+  p.done = prog.patterns().intern("latch.done", 1);
+  p.get = prog.patterns().intern("latch.get", 0);
+
+  ClassDef<CompletionLatch> def(prog, "abcl.CompletionLatch");
+  def.method<ExpectFrame>(p.expect);
+  def.method<DoneFrame>(p.done);
+  def.method<GetFrame>(p.get);
+  p.cls = &def.info();
+  g_pats = p;
+  return p;
+}
+
+const CompletionLatch& latch_state(MailAddr addr) {
+  ABCL_CHECK(!addr.is_nil());
+  ABCL_CHECK_MSG(!addr.ptr->needs_init,
+                 "latch never received a message; state not constructed");
+  return *addr.ptr->state_as<CompletionLatch>();
+}
+
+}  // namespace abcl

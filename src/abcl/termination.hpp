@@ -1,0 +1,45 @@
+// Completion latch — library-provided termination detection.
+//
+// The paper's N-queens detects termination by acknowledgement messages
+// tracing back the search tree. The latch generalizes the root of such an
+// ack tree: an object that absorbs "done(count)" messages until `expected`
+// of them arrived, accumulating the counts; the host reads the result after
+// the world quiesces (or another object awaits it with a now-type get).
+//
+// Patterns:
+//   latch.expect [n]      — (re)arms the latch for n completions
+//   latch.done   [count]  — one completion carrying a partial result
+//   latch.get    []       — now-type: replies the total once complete
+#pragma once
+
+#include "abcl/class_def.hpp"
+#include "abcl/machine_api.hpp"
+
+namespace abcl {
+
+struct CompletionLatch {
+  std::int64_t expected = 0;
+  std::int64_t received = 0;
+  std::int64_t total = 0;
+  bool armed = false;
+  // One waiter may block in latch.get before completion.
+  ReplyDest pending_get = core::kNilReply;
+
+  bool done() const { return armed && received >= expected; }
+};
+
+// Pattern names (interned by register_completion_latch).
+struct CompletionPatterns {
+  PatternId expect = 0;
+  PatternId done = 0;
+  PatternId get = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+// Registers the latch class + patterns on `prog`. Call before finalize().
+CompletionPatterns register_completion_latch(core::Program& prog);
+
+// Host-side helpers (valid once the world has quiesced).
+const CompletionLatch& latch_state(MailAddr addr);
+
+}  // namespace abcl

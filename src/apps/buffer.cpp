@@ -1,0 +1,95 @@
+#include "apps/buffer.hpp"
+
+namespace abcl::apps {
+
+namespace {
+
+// Wait-site / continuation-pc constants (registration and method body must
+// agree; see ClassDef::accept).
+constexpr std::int32_t kSiteEmpty = 0;  // get waits for a put
+constexpr std::int32_t kSiteFull = 1;   // put waits for a get
+constexpr std::uint16_t kPcGotPut = 1;
+constexpr std::uint16_t kPcGotGet = 1;
+
+struct PutFrame : Frame {
+  Word item = 0;
+  ReplyDest get_rd;  // landing slot for the awaited get while full
+
+  static void init(PutFrame& f, const Msg& m) { f.item = m.at(0); }
+
+  // Copy-in for the awaited `get` while the buffer is full: capture the
+  // get's reply destination so the continuation can serve it.
+  static void copy_get(PutFrame& f, const Msg& m) { f.get_rd = m.reply; }
+
+  static Status run(Ctx& ctx, BufferState& self, PutFrame& f) {
+    ABCL_BEGIN(f);
+    ctx.charge(6);
+    self.puts += 1;
+    if (self.count < kBufferCapacity) {
+      self.push(f.item);
+      ABCL_RETURN();
+    }
+    self.waited_puts += 1;
+    ABCL_SELECT(ctx, self, f, kSiteFull);
+    case kPcGotGet: {
+      // Serve the oldest item to the arrived get, then store ours: FIFO
+      // order is preserved and the buffer stays full.
+      self.gets += 1;
+      Word v = self.pop();
+      ctx.reply(f.get_rd, &v, 1);
+      self.push(f.item);
+    }
+    ABCL_END();
+  }
+};
+
+struct GetFrame : Frame {
+  ReplyDest rd;
+  Word got = 0;
+
+  static void init(GetFrame& f, const Msg& m) { f.rd = m.reply; }
+
+  // Copy-in for the awaited `put` while select-waiting: the put's item
+  // lands directly in the blocked get's frame (it never enters the ring).
+  static void copy_put(GetFrame& f, const Msg& m) { f.got = m.at(0); }
+
+  static Status run(Ctx& ctx, BufferState& self, GetFrame& f) {
+    ABCL_BEGIN(f);
+    ctx.charge(6);
+    self.gets += 1;
+    if (self.count > 0) {
+      Word v = self.pop();
+      ctx.reply(f.rd, &v, 1);
+      ABCL_RETURN();
+    }
+    self.waited_gets += 1;
+    ABCL_SELECT(ctx, self, f, kSiteEmpty);
+    case kPcGotPut:
+      self.puts += 1;  // the consumed put is still a completed put
+      ctx.reply(f.rd, &f.got, 1);
+    ABCL_END();
+  }
+};
+
+}  // namespace
+
+BufferProgram register_buffer(core::Program& prog) {
+  BufferProgram bp;
+  bp.put = prog.patterns().intern("buf.put", 1);
+  bp.get = prog.patterns().intern("buf.get", 0);
+  ClassDef<BufferState> def(prog, "SyncBuffer");
+  def.method<PutFrame>(bp.put);
+  def.method<GetFrame>(bp.get);
+  bp.wait_empty_site = def.wait_site<GetFrame>();
+  ABCL_CHECK(bp.wait_empty_site == kSiteEmpty);
+  def.accept<GetFrame, &GetFrame::copy_put>(bp.wait_empty_site, bp.put,
+                                            kPcGotPut);
+  bp.wait_full_site = def.wait_site<PutFrame>();
+  ABCL_CHECK(bp.wait_full_site == kSiteFull);
+  def.accept<PutFrame, &PutFrame::copy_get>(bp.wait_full_site, bp.get,
+                                            kPcGotGet);
+  bp.cls = &def.info();
+  return bp;
+}
+
+}  // namespace abcl::apps

@@ -1,0 +1,54 @@
+// Synchronizing bounded buffer — the classic ABCL selective-reception
+// example. `get` is a now-type request; when the buffer is empty the
+// serving method *waits inside the method* (Section 2.2, action 4) for the
+// next `put`, via a per-wait-site virtual function table: the awaited
+// pattern restores the blocked context directly, every other message is
+// queued. Symmetrically, a `put` into a full buffer waits for the next
+// `get` (second wait site), so producers are flow-controlled.
+#pragma once
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::apps {
+
+inline constexpr int kBufferCapacity = 16;
+
+struct BufferProgram {
+  PatternId put = 0;  // [item]
+  PatternId get = 0;  // now-type: [] -> reply item
+  const core::ClassInfo* cls = nullptr;
+  std::int32_t wait_empty_site = 0;  // get waits here when empty
+  std::int32_t wait_full_site = 1;   // put waits here when full
+};
+
+BufferProgram register_buffer(core::Program& prog);
+
+struct BufferState {
+  Word items[kBufferCapacity] = {};
+  std::int32_t head = 0;
+  std::int32_t count = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t waited_gets = 0;  // gets that had to select-wait
+  std::uint64_t waited_puts = 0;  // puts that had to select-wait (full)
+
+  void push(Word w) {
+    ABCL_CHECK_MSG(count < kBufferCapacity, "buffer overflow");
+    items[(head + count) % kBufferCapacity] = w;
+    ++count;
+  }
+  Word pop() {
+    ABCL_CHECK(count > 0);
+    Word w = items[head];
+    head = (head + 1) % kBufferCapacity;
+    --count;
+    return w;
+  }
+};
+
+inline const BufferState& buffer_state(MailAddr a) {
+  ABCL_CHECK(!a.is_nil() && !a.ptr->needs_init);
+  return *a.ptr->state_as<BufferState>();
+}
+
+}  // namespace abcl::apps

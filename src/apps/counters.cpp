@@ -1,0 +1,79 @@
+#include "apps/counters.hpp"
+
+namespace abcl::apps {
+
+namespace {
+
+struct NoopFrame : Frame {
+  static void init(NoopFrame&, const Msg&) {}
+  static Status run(Ctx&, CounterState& self, NoopFrame&) {
+    self.noops += 1;  // one store: the "null method" body
+    return Status::kDone;
+  }
+};
+
+struct IncFrame : Frame {
+  static void init(IncFrame&, const Msg&) {}
+  static Status run(Ctx& ctx, CounterState& self, IncFrame&) {
+    ctx.charge(2);
+    self.count += 1;
+    return Status::kDone;
+  }
+};
+
+struct AddFrame : Frame {
+  std::int64_t k = 0;
+  static void init(AddFrame& f, const Msg& m) { f.k = m.i64(0); }
+  static Status run(Ctx& ctx, CounterState& self, AddFrame& f) {
+    ctx.charge(2);
+    self.count += f.k;
+    return Status::kDone;
+  }
+};
+
+struct GetFrame : Frame {
+  ReplyDest rd;
+  static void init(GetFrame& f, const Msg& m) { f.rd = m.reply; }
+  static Status run(Ctx& ctx, CounterState& self, GetFrame& f) {
+    ctx.charge(2);
+    Word v = static_cast<Word>(self.count);
+    ctx.reply(f.rd, &v, 1);
+    return Status::kDone;
+  }
+};
+
+struct FillFrame : Frame {
+  std::int64_t n = 0;
+  PatternId pat = 0;
+  static void init(FillFrame& f, const Msg& m) {
+    f.n = m.i64(0);
+    f.pat = static_cast<PatternId>(m.at(1));
+  }
+  static Status run(Ctx& ctx, CounterState&, FillFrame& f) {
+    for (std::int64_t i = 0; i < f.n; ++i) {
+      ctx.send_past(ctx.self_addr(), f.pat, nullptr, 0);
+    }
+    return Status::kDone;
+  }
+};
+
+}  // namespace
+
+CounterProgram register_counter(core::Program& prog) {
+  CounterProgram cp;
+  cp.noop = prog.patterns().intern("ctr.noop", 0);
+  cp.inc = prog.patterns().intern("ctr.inc", 0);
+  cp.add = prog.patterns().intern("ctr.add", 1);
+  cp.get = prog.patterns().intern("ctr.get", 0);
+  cp.fill = prog.patterns().intern("ctr.fill", 2);
+  ClassDef<CounterState> def(prog, "Counter");
+  def.method<NoopFrame>(cp.noop);
+  def.method<IncFrame>(cp.inc);
+  def.method<AddFrame>(cp.add);
+  def.method<GetFrame>(cp.get);
+  def.method<FillFrame>(cp.fill);
+  cp.cls = &def.info();
+  return cp;
+}
+
+}  // namespace abcl::apps

@@ -1,0 +1,37 @@
+// Counter objects — the quickstart class, and the "null method" used by the
+// Table 1/2 microbenchmarks (repeated invocation of a no-op method).
+#pragma once
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::apps {
+
+struct CounterProgram {
+  PatternId noop = 0;   // [] null method (Table 1/2's measured method)
+  PatternId inc = 0;    // []
+  PatternId add = 0;    // [k]
+  PatternId get = 0;    // now-type: [] -> reply count
+  PatternId fill = 0;   // [n, pattern]: send self n messages of `pattern`
+                        // (they buffer — the object is active — exercising
+                        // the Table-1 "message to active object" path)
+  const core::ClassInfo* cls = nullptr;
+};
+
+CounterProgram register_counter(core::Program& prog);
+
+struct CounterState {
+  std::int64_t count = 0;
+  std::uint64_t noops = 0;
+
+  void on_create(const Msg& m) {
+    if (m.nargs >= 1) count = m.i64(0);
+  }
+};
+
+// Host-side state peek (after the world quiesced).
+inline const CounterState& counter_state(MailAddr a) {
+  ABCL_CHECK(!a.is_nil() && !a.ptr->needs_init);
+  return *a.ptr->state_as<CounterState>();
+}
+
+}  // namespace abcl::apps

@@ -1,0 +1,24 @@
+// Fork-join Fibonacci — exercises now-type sends, reply destinations,
+// blocking/resumption and remote creation in a tree recursion.
+#pragma once
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::apps {
+
+struct FibProgram {
+  PatternId compute = 0;  // now-type: [n] -> reply fib(n)
+  const core::ClassInfo* cls = nullptr;
+};
+
+FibProgram register_fib(core::Program& prog);
+
+struct FibResult {
+  std::int64_t value = 0;
+  RunReport rep;
+};
+
+// Computes fib(n) on the world, one object per recursive call.
+FibResult run_fib(World& world, const FibProgram& fp, int n);
+
+}  // namespace abcl::apps

@@ -1,0 +1,79 @@
+// Parallel N-queens (Section 6.2) — the paper's large-scale benchmark.
+//
+// One concurrent object per search-tree node: the `go` method expands the
+// node's row, creating one child object per feasible column (placed by the
+// node's placement policy) and sending it `go`; results flow back up the
+// tree as `done(count)` acknowledgement messages — the paper's termination
+// detection — and the root reports into a CompletionLatch.
+//
+// The method bodies charge a modeled work cost (base + per-candidate-column)
+// identical to the sequential baseline's, so speedups compare like the
+// paper's parallel-vs-SPARCstation numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::apps {
+
+// Default work model calibrated to the paper's sequential baseline: 84 ms
+// for N=8 on a 25 MHz SPARCstation 1+ over 2,056 tree nodes is ~850
+// instructions per expansion (Table 4).
+struct NQueensParams {
+  int n = 8;
+  sim::Instr charge_base = 380;    // per-expansion fixed work
+  sim::Instr charge_per_col = 60;  // per candidate column
+
+  // Work model matched to the paper's measured sequential times: Table 4
+  // implies ~41 us per tree node at N=8 (~444 instructions at the model's
+  // 2.3 effective CPI) but ~100 us (~1,087 instr) at N=13 — per-node cost
+  // grows with N on the real machine (larger boards, worse cache
+  // behaviour). This fits that growth exponentially between the two
+  // anchors, so speedup/utilization figures are comparable with Figure 5's.
+  static NQueensParams paper_calibrated(int n) {
+    NQueensParams p;
+    p.n = n;
+    double per_node = 444.0;
+    for (int i = 8; i < n; ++i) per_node *= 1.1965;  // (1087/444)^(1/5)
+    for (int i = n; i < 8; ++i) per_node /= 1.1965;
+    // The pruned search tree averages ~1.05 candidate columns per node, so
+    // the per-column term contributes ~1.05 * charge_per_col on average.
+    auto base = static_cast<std::int64_t>(per_node) - 65;
+    p.charge_base = base > 50 ? static_cast<sim::Instr>(base) : 50;
+    p.charge_per_col = 60;
+    return p;
+  }
+};
+
+struct NQueensProgram {
+  PatternId go = 0;
+  PatternId done = 0;
+  const core::ClassInfo* node_cls = nullptr;
+  CompletionPatterns latch;
+};
+
+struct NQueensResult {
+  std::int64_t solutions = 0;
+  std::uint64_t objects_created = 0;  // search-tree objects (excl. latch)
+  std::uint64_t messages = 0;         // go + done messages (paper's count)
+  sim::Instr sim_time = 0;
+  double sim_ms = 0.0;
+  std::size_t heap_bytes = 0;
+  core::NodeStats stats;
+  RunReport rep;
+};
+
+// Registers the N-queens classes and patterns (plus the completion latch)
+// on `prog`. Call once per Program, before finalize().
+NQueensProgram register_nqueens(core::Program& prog);
+
+// Runs N-queens on an already-built world. Deterministic per (world, p).
+NQueensResult run_nqueens(World& world, const NQueensProgram& np,
+                          const NQueensParams& p);
+
+// Convenience: build a world with `nodes` nodes and run.
+NQueensResult run_nqueens_on(core::Program& prog, const NQueensProgram& np,
+                             const NQueensParams& p, WorldConfig cfg);
+
+}  // namespace abcl::apps

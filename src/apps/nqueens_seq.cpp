@@ -1,0 +1,65 @@
+#include "apps/nqueens_seq.hpp"
+
+#include <bit>
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace abcl::apps {
+
+namespace {
+
+struct SeqCtx {
+  std::uint32_t mask;
+  int n;
+  sim::Instr charge_base;
+  sim::Instr charge_per_col;
+  std::int64_t solutions = 0;
+  std::uint64_t nodes = 0;
+  sim::Instr charged = 0;
+};
+
+void dfs(SeqCtx& c, std::uint32_t cols, std::uint32_t d1, std::uint32_t d2,
+         int row) {
+  ++c.nodes;
+  if (row == c.n) {
+    // A full placement counts as a tree node of its own, matching the
+    // parallel program (and the paper's creation counts).
+    ++c.solutions;
+    c.charged += c.charge_base;
+    return;
+  }
+  std::uint32_t cand = ~(cols | d1 | d2) & c.mask;
+  c.charged += c.charge_base +
+               c.charge_per_col * static_cast<sim::Instr>(std::popcount(cand));
+  while (cand != 0) {
+    std::uint32_t bit = cand & (0u - cand);
+    cand &= cand - 1;
+    dfs(c, cols | bit, ((d1 | bit) << 1) & c.mask, (d2 | bit) >> 1, row + 1);
+  }
+}
+
+}  // namespace
+
+NQueensSeqResult nqueens_seq(int n, sim::Instr charge_base,
+                             sim::Instr charge_per_col) {
+  ABCL_CHECK(n >= 1 && n <= 16);
+  SeqCtx c;
+  c.mask = (1u << n) - 1;
+  c.n = n;
+  c.charge_base = charge_base;
+  c.charge_per_col = charge_per_col;
+
+  auto t0 = std::chrono::steady_clock::now();
+  dfs(c, 0, 0, 0, 0);
+  auto t1 = std::chrono::steady_clock::now();
+
+  NQueensSeqResult r;
+  r.solutions = c.solutions;
+  r.tree_nodes = c.nodes;
+  r.charged = c.charged;
+  r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace abcl::apps

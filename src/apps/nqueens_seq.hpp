@@ -1,0 +1,28 @@
+// Sequential N-queens baseline (Table 4's "elapsed time on SS1+").
+//
+// The same depth-first algorithm as the parallel actor program, run as a
+// plain recursive C++ function: stack-based, no heap, no termination
+// detection — exactly the paper's sequential comparator. It charges the
+// identical per-expansion work model, so
+//     speedup(P) = seq.charged_instr / parallel.sim_time
+// has the same semantics as the paper's elapsed-time ratio on identical
+// CPUs.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace abcl::apps {
+
+struct NQueensSeqResult {
+  std::int64_t solutions = 0;
+  std::uint64_t tree_nodes = 0;   // expansions == parallel object creations
+  sim::Instr charged = 0;         // modeled work under the same cost formula
+  double host_seconds = 0.0;      // real time on the host machine
+};
+
+NQueensSeqResult nqueens_seq(int n, sim::Instr charge_base,
+                             sim::Instr charge_per_col);
+
+}  // namespace abcl::apps

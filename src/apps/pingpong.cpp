@@ -1,0 +1,85 @@
+#include "apps/pingpong.hpp"
+
+namespace abcl::apps {
+
+namespace {
+
+// Creation args: [remaining]
+struct PingState {
+  MailAddr peer;
+  std::int64_t remaining = 0;
+  std::uint64_t bounced = 0;
+
+  void on_create(const Msg& m) { remaining = m.i64(0); }
+};
+
+struct SetPeerFrame : Frame {
+  MailAddr peer;
+  static void init(SetPeerFrame& f, const Msg& m) { f.peer = m.addr(0); }
+  static Status run(Ctx&, PingState& self, SetPeerFrame& f) {
+    self.peer = f.peer;
+    return Status::kDone;
+  }
+};
+
+struct BallFrame : Frame {
+  PatternId pat = 0;
+  static void init(BallFrame& f, const Msg& m) { f.pat = m.pattern; }
+  static Status run(Ctx& ctx, PingState& self, BallFrame& f) {
+    self.bounced += 1;
+    if (self.remaining > 0) {
+      self.remaining -= 1;
+      ctx.send_past(self.peer, f.pat, nullptr, 0);
+    }
+    return Status::kDone;
+  }
+};
+
+}  // namespace
+
+PingPongProgram register_pingpong(core::Program& prog) {
+  PingPongProgram pp;
+  pp.set_peer = prog.patterns().intern("pp.peer", 2);
+  pp.ball = prog.patterns().intern("pp.ball", 0);
+  ClassDef<PingState> def(prog, "PingPong");
+  def.method<SetPeerFrame>(pp.set_peer);
+  def.method<BallFrame>(pp.ball);
+  pp.cls = &def.info();
+  return pp;
+}
+
+PingPongResult run_pingpong(World& world, const PingPongProgram& pp,
+                            NodeId node_a, NodeId node_b,
+                            std::uint64_t rounds) {
+  MailAddr a, b;
+  world.boot(node_a, [&](Ctx& ctx) {
+    Word rem = rounds;
+    a = ctx.create_local(*pp.cls, &rem, 1);
+  });
+  world.boot(node_b, [&](Ctx& ctx) {
+    Word rem = rounds;
+    b = ctx.create_local(*pp.cls, &rem, 1);
+  });
+  sim::Instr start = world.max_clock();
+  world.boot(node_a, [&](Ctx& ctx) {
+    Word peer_b[2] = {b.word_node(), b.word_ptr()};
+    ctx.send_past(a, pp.set_peer, peer_b, 2);
+    Word peer_a[2] = {a.word_node(), a.word_ptr()};
+    ctx.send_past(b, pp.set_peer, peer_a, 2);
+    ctx.send_past(a, pp.ball, nullptr, 0);
+  });
+  RunReport rep = world.run();
+
+  PingPongResult r;
+  auto& sa = *a.ptr->state_as<PingState>();
+  auto& sb = *b.ptr->state_as<PingState>();
+  r.bounces = sa.bounced + sb.bounced;
+  r.sim_time = rep.sim_time - start;
+  r.us_per_message = r.bounces == 0
+                         ? 0.0
+                         : world.config().cost.us(r.sim_time) /
+                               static_cast<double>(r.bounces);
+  return r;
+}
+
+}  // namespace abcl::apps

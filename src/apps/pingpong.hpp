@@ -1,0 +1,29 @@
+// Ping-pong latency workload (Table 1's inter-node latency row, Table 3's
+// send/reply comparison): two objects bouncing a one-word past-type message.
+#pragma once
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::apps {
+
+struct PingPongProgram {
+  PatternId set_peer = 0;  // [peer_node, peer_ptr]
+  PatternId ball = 0;      // [] one-word-equivalent ball message
+  const core::ClassInfo* cls = nullptr;
+};
+
+PingPongProgram register_pingpong(core::Program& prog);
+
+struct PingPongResult {
+  std::uint64_t bounces = 0;      // total one-way messages delivered
+  sim::Instr sim_time = 0;
+  double us_per_message = 0.0;    // one-way latency in modeled microseconds
+};
+
+// Places the two objects on `node_a` / `node_b` (equal for the intra-node
+// measurement), bounces `rounds` messages, and reports latency.
+PingPongResult run_pingpong(World& world, const PingPongProgram& pp,
+                            NodeId node_a, NodeId node_b,
+                            std::uint64_t rounds);
+
+}  // namespace abcl::apps

@@ -1,0 +1,40 @@
+// Prime sieve as a growing actor pipeline — the classic concurrent-OOPL
+// benchmark shape (a dynamic chain of filter objects).
+//
+// Each Filter object holds one prime. Candidate numbers flow down the
+// chain: a filter drops multiples of its prime and forwards survivors; a
+// number surviving to the tail *is* prime, and the tail grows the chain by
+// remote-creating a new Filter for it (awaiting a chunk if the stock is
+// cold — during which later candidates queue in arrival order, so the
+// pipeline stays correct). An end-of-stream token sweeps the chain counting
+// filters and reports the prime count to a completion latch.
+//
+// This exercises, in one workload: per-channel FIFO, waiting-mode queueing
+// during creation, the fault-table race (forwarding to a filter whose
+// creation request is still in flight), and placement policies.
+#pragma once
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::apps {
+
+struct SieveProgram {
+  PatternId num = 0;  // [n] candidate number
+  PatternId end = 0;  // [count] end-of-stream sweep
+  const core::ClassInfo* filter_cls = nullptr;
+  CompletionPatterns latch;
+};
+
+SieveProgram register_sieve(core::Program& prog);
+
+struct SieveResult {
+  std::int64_t primes = 0;        // number of filters == pi(limit)
+  std::uint64_t filters_created = 0;
+  RunReport rep;
+  core::NodeStats stats;
+};
+
+// Counts primes in [2, limit] by streaming candidates through the pipeline.
+SieveResult run_sieve(World& world, const SieveProgram& sp, std::int64_t limit);
+
+}  // namespace abcl::apps

@@ -1,0 +1,73 @@
+// Frames (Section 4.3).
+//
+// The paper allocates one frame per message holding arguments, locals and
+// scheduling fields; the frame lives on the stack while the invocation is
+// unblocked and is lazily copied to the heap at the first block. We keep the
+// same lifecycle but split the representation for type safety:
+//
+//  * MsgFrame  — a buffered message: pattern + argument words + reply
+//                destination. Allocated on the heap by queuing procedures,
+//                linked into the receiver's message queue.
+//  * CtxFrame  — a method's typed continuation frame (arguments + locals +
+//                pc). Declared by each method as a trivially-copyable struct
+//                deriving CtxFrameBase; lives on the C++ stack until the
+//                method first blocks, then is memcpy-spilled into the pool.
+//
+// The cost model charges the unified-frame costs the paper reports, so the
+// split is representational only.
+#pragma once
+
+#include <cstring>
+
+#include "core/mail_addr.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace abcl::core {
+
+// A received-but-unprocessed message, as stored by a queuing procedure.
+struct MsgFrame {
+  MsgFrame* next = nullptr;  // message-queue link
+  PatternId pattern = 0;
+  std::uint8_t nargs = 0;
+  ReplyDest reply;
+  Word args[kMaxArgs];
+};
+
+// Read-only view of an in-flight message, valid only for the duration of a
+// dispatch (args may point into the sender's stack or a packet).
+struct MsgView {
+  PatternId pattern = 0;
+  std::uint8_t nargs = 0;
+  const Word* args = nullptr;
+  ReplyDest reply;
+
+  Word at(int i) const {
+    ABCL_DCHECK(i >= 0 && i < nargs);
+    return args[i];
+  }
+  std::int64_t i64(int i) const { return static_cast<std::int64_t>(at(i)); }
+  MailAddr addr(int i) const { return MailAddr::from_words(at(i), at(i + 1)); }
+
+  static MsgView of_frame(const MsgFrame& f) {
+    return MsgView{f.pattern, f.nargs, f.args, f.reply};
+  }
+};
+
+// Borrowed view of a word sequence (argument lists). The abcl::ArgPack
+// helper converts to this implicitly, so runtime calls accept either raw
+// (Word*, n) pairs or packed typed arguments.
+struct WordSpan {
+  const Word* ptr = nullptr;
+  int n = 0;
+};
+
+// Base of every method continuation frame. Derived frames must be
+// trivially copyable (they are spilled by memcpy, exactly as the paper's
+// context save copies locals into the heap frame).
+struct CtxFrameBase {
+  std::uint16_t pc = 0;
+  std::uint16_t bytes = 0;  // set at spill time; used to recycle the pool slot
+};
+
+}  // namespace abcl::core

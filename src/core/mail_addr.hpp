@@ -1,0 +1,58 @@
+// Mail addresses (Section 5.2).
+//
+// A mail address is the pair (processor number, real pointer) — no export
+// tables, no indirection. Inside the simulator all node heaps share one
+// process address space, so the "real pointer" is a genuine ObjectHeader*
+// even when it denotes an object owned by another node; dereferencing it
+// from the wrong node is a runtime bug the core asserts against.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace abcl::core {
+
+struct MailAddr {
+  NodeId node = -1;
+  ObjectHeader* ptr = nullptr;
+
+  constexpr bool is_nil() const { return ptr == nullptr; }
+
+  friend constexpr bool operator==(const MailAddr& a, const MailAddr& b) {
+    return a.node == b.node && a.ptr == b.ptr;
+  }
+  friend constexpr bool operator!=(const MailAddr& a, const MailAddr& b) {
+    return !(a == b);
+  }
+
+  // Packing for message payloads: two words.
+  Word word_node() const { return static_cast<Word>(static_cast<std::uint32_t>(node)); }
+  Word word_ptr() const { return reinterpret_cast<Word>(ptr); }
+  static MailAddr from_words(Word wn, Word wp) {
+    return MailAddr{static_cast<NodeId>(static_cast<std::uint32_t>(wn)),
+                    reinterpret_cast<ObjectHeader*>(wp)};
+  }
+};
+
+inline constexpr MailAddr kNilAddr{};
+
+// Reply destination (Section 2.2): where the reply of a now-type message is
+// delivered. It names a reply box, which is itself remotely addressable —
+// reply destinations can be passed to third parties, so replies need not
+// come from the original receiver.
+struct ReplyDest {
+  NodeId node = -1;
+  ReplyBox* box = nullptr;
+
+  constexpr bool is_nil() const { return box == nullptr; }
+
+  Word word_node() const { return static_cast<Word>(static_cast<std::uint32_t>(node)); }
+  Word word_box() const { return reinterpret_cast<Word>(box); }
+  static ReplyDest from_words(Word wn, Word wb) {
+    return ReplyDest{static_cast<NodeId>(static_cast<std::uint32_t>(wn)),
+                     reinterpret_cast<ReplyBox*>(wb)};
+  }
+};
+
+inline constexpr ReplyDest kNilReply{};
+
+}  // namespace abcl::core

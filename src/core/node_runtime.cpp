@@ -1,0 +1,842 @@
+#include "core/node_runtime.hpp"
+
+#include <cstring>
+
+namespace abcl::core {
+
+namespace {
+
+std::uint16_t object_size_class(const ClassInfo& cls) {
+  return static_cast<std::uint16_t>(
+      util::PoolAllocator::size_class(object_alloc_bytes(cls.state_bytes)));
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(NodeId id, Program& prog, net::Network& net,
+                         const sim::CostModel& cm, Config cfg)
+    : id_(id),
+      prog_(&prog),
+      net_(&net),
+      cm_(&cm),
+      cfg_(cfg),
+      arena_(64u << 10),
+      pool_(arena_),
+      rng_(cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(id) + 1) {
+  ABCL_CHECK_MSG(prog.finalized(), "Program must be finalized before nodes start");
+}
+
+NodeRuntime::~NodeRuntime() {
+  for (ObjectHeader* o = live_head_; o != nullptr; o = o->live_next) {
+    if (o->cls != nullptr && !o->needs_init && o->cls->destruct != nullptr) {
+      o->cls->destruct(o->state());
+    }
+  }
+  // Arena reclaims all raw memory wholesale.
+}
+
+// ----------------------------------------------------------------------------
+// sim::NodeExec
+// ----------------------------------------------------------------------------
+
+bool NodeRuntime::runnable() const {
+  return !sched_.empty() || net_->next_arrival(id_) <= clock_;
+}
+
+void NodeRuntime::advance_clock(sim::Instr t) {
+  ABCL_DCHECK(t >= clock_);
+  stats_.idle_instr += t - clock_;
+  clock_ = t;
+}
+
+void NodeRuntime::step() {
+  deliveries_this_quantum_ = 0;
+  quantum_start_clock_ = clock_;
+  ++quanta_run_;
+  trace(sim::TraceEv::kQuantum);
+
+  net::Packet pkt;
+  int handled = 0;
+  while (handled < cfg_.max_packets_per_quantum && net_->poll(id_, clock_, pkt)) {
+    charge(cm_->recv_handler);
+    stats_.remote_recv += 1;
+    trace(sim::TraceEv::kRecvRemote);
+    prog_->am().dispatch(pkt.handler, this, pkt);
+    ++handled;
+  }
+
+  if (ObjectHeader* o = sched_.pop()) run_sched_item(o);
+
+  if (cfg_.gossip_interval != 0 && quanta_run_ % cfg_.gossip_interval == 0) {
+    gossip_load_now();
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Local delivery and scheduling
+// ----------------------------------------------------------------------------
+
+Status NodeRuntime::deliver_local(ObjectHeader* o, const MsgView& m) {
+  charge(cm_->lookup_call);
+  ++deliveries_this_quantum_;
+
+  if (cfg_.policy == SchedPolicy::kNaive) {
+    naive_local_send(o, m);
+    return Status::kDone;
+  }
+
+  if (call_depth_ >= cfg_.max_call_depth) {
+    // Preemption of the direct-call cascade: the receiver is handled as if
+    // it were active — buffer and round-trip the scheduling queue — so the
+    // C++ stack stays bounded. FIFO per sender is preserved because the
+    // object is switched to active mode (later sends buffer behind).
+    if (o->is_idle_receiver()) {
+      stats_.forced_buffer_depth += 1;
+      queue_message(o, m);
+      o->vftp = &o->cls->active;
+      o->mode = Mode::kActive;
+      charge(cm_->sched_enqueue);
+      stats_.sched_enqueues += 1;
+      sched_.push(o, SchedState::kQueuedNext);
+      return Status::kDone;
+    }
+    if (o->mode == Mode::kWaiting && o->vftp->wait_site >= 0 &&
+        o->vftp->entry(m.pattern) == &select_restore_entry) {
+      stats_.forced_buffer_depth += 1;
+      queue_message(o, m);
+      if (o->sched_state == SchedState::kNone) {
+        charge(cm_->sched_enqueue);
+        stats_.sched_enqueues += 1;
+        sched_.push(o, SchedState::kQueuedNext);
+      }
+      return Status::kDone;
+    }
+    // Other cases (queuing entries) do not recurse into user code.
+  }
+
+  ++call_depth_;
+  Status s = o->vftp->entry(m.pattern)(*this, o, m);
+  --call_depth_;
+  return s;
+}
+
+Status NodeRuntime::dispatch_body(ObjectHeader* o, const MsgView& m) {
+  if (o->needs_init) return lazy_init_entry(*this, o, m);
+  return o->cls->dormant.entry(m.pattern)(*this, o, m);
+}
+
+void NodeRuntime::queue_message(ObjectHeader* o, const MsgView& m) {
+  charge(cm_->frame_alloc + cm_->msg_store + cm_->mq_enqueue);
+  MsgFrame* f = alloc_msg_frame();
+  f->pattern = m.pattern;
+  f->nargs = m.nargs;
+  f->reply = m.reply;
+  for (int i = 0; i < m.nargs; ++i) f->args[i] = m.args[i];
+  o->mq.push_back(f);
+}
+
+void NodeRuntime::naive_local_send(ObjectHeader* o, const MsgView& m) {
+  queue_message(o, m);
+  bool should_sched = false;
+  if (o->is_idle_receiver()) {
+    should_sched = true;
+  } else if (o->mode == Mode::kWaiting && o->vftp->wait_site >= 0) {
+    const WaitSite& ws =
+        *o->cls->wait_sites[static_cast<std::size_t>(o->vftp->wait_site)];
+    should_sched = ws.find(m.pattern) != nullptr;
+  }
+  if (should_sched && o->sched_state == SchedState::kNone) {
+    charge(cm_->sched_enqueue);
+    stats_.sched_enqueues += 1;
+    sched_.push(o, SchedState::kQueuedNext);
+  }
+}
+
+void NodeRuntime::run_sched_item(ObjectHeader* o) {
+  SchedState kind = o->sched_state;
+  o->sched_state = SchedState::kNone;
+  charge(cm_->sched_dispatch);
+  stats_.sched_dispatches += 1;
+
+  if (kind == SchedState::kQueuedResume) {
+    ABCL_CHECK(o->mode == Mode::kWaiting && o->blocked_frame != nullptr);
+    ++call_depth_;
+    o->resume_entry(*this, o);
+    --call_depth_;
+    return;
+  }
+
+  ABCL_DCHECK(kind == SchedState::kQueuedNext);
+  if (o->mode == Mode::kWaiting) {
+    // A reply may have been delivered while this item was pending (hybrid
+    // wait under the naive policy / at the depth bound): the box is full
+    // and the object must resume through it.
+    if (o->awaiting_box != nullptr &&
+        o->awaiting_box->state == ReplyBox::State::kFull) {
+      ++call_depth_;
+      o->resume_entry(*this, o);
+      --call_depth_;
+      return;
+    }
+    // Selective-reception retry after a depth-forced buffer: scan for an
+    // accepted message; reply waits are resumed by the reply box instead.
+    if (o->vftp->wait_site < 0) return;
+    const WaitSite& ws =
+        *o->cls->wait_sites[static_cast<std::size_t>(o->vftp->wait_site)];
+    MsgFrame* mf = o->mq.remove_first_if(
+        [&](MsgFrame& f) { return ws.find(f.pattern) != nullptr; });
+    if (mf == nullptr) return;
+    const WaitSite::Accept* a = ws.find(mf->pattern);
+    a->copy_in(o->blocked_frame, MsgView::of_frame(*mf));
+    o->blocked_frame->pc = a->resume_pc;
+    free_msg_frame(mf);
+    stats_.local_to_waiting_hit += 1;
+    ++call_depth_;
+    o->resume_entry(*this, o);
+    --call_depth_;
+    return;
+  }
+
+  MsgFrame* mf = o->mq.pop_front();
+  if (mf == nullptr) {
+    if (o->mode == Mode::kActive) {
+      o->vftp = o->needs_init ? &o->cls->lazy_init : &o->cls->dormant;
+      o->mode = Mode::kDormant;
+      maybe_retire(o);
+    }
+    return;
+  }
+  MsgView m = MsgView::of_frame(*mf);
+  ++call_depth_;
+  dispatch_body(o, m);
+  --call_depth_;
+  free_msg_frame(mf);
+}
+
+void NodeRuntime::method_epilogue(ObjectHeader* o) {
+  if (!cm_->opt.elide_mq_check) charge(cm_->mq_check);
+  if (!cm_->opt.elide_poll) charge(cm_->poll_remote);
+  if (!o->mq.empty()) {
+    if (o->sched_state == SchedState::kNone) {
+      charge(cm_->sched_enqueue);
+      stats_.sched_enqueues += 1;
+      sched_.push(o, SchedState::kQueuedNext);
+    }
+    // VFTP stays the active (queuing) table until the queue drains.
+  } else {
+    if (!cm_->opt.elide_vftp_switch) charge(cm_->vftp_switch);
+    o->vftp = o->needs_init ? &o->cls->lazy_init : &o->cls->dormant;
+    o->mode = Mode::kDormant;
+    maybe_retire(o);
+  }
+  charge(cm_->stack_return);
+}
+
+void NodeRuntime::commit_block(ObjectHeader* o, CtxFrameBase* hf, ResumeFn resume) {
+  trace(sim::TraceEv::kBlock);
+  o->blocked_frame = hf;
+  o->resume_entry = resume;
+  switch (block_reason_.kind) {
+    case BlockReason::Kind::kAwait: {
+      stats_.blocks_await += 1;
+      ReplyBox* b = block_reason_.box;
+      ABCL_CHECK(b != nullptr && b->state == ReplyBox::State::kEmpty);
+      b->state = ReplyBox::State::kWaiting;
+      b->waiter = o;
+      o->awaiting_box = b;
+      o->vftp = &o->cls->active;  // all entries queue while awaiting a reply
+      o->mode = Mode::kWaiting;
+      break;
+    }
+    case BlockReason::Kind::kAwaitSelect: {
+      stats_.blocks_await += 1;
+      stats_.blocks_select += 1;
+      ReplyBox* b = block_reason_.box;
+      ABCL_CHECK(b != nullptr && b->state == ReplyBox::State::kEmpty);
+      ABCL_CHECK(block_reason_.site >= 0 &&
+                 static_cast<std::size_t>(block_reason_.site) <
+                     o->cls->wait_sites.size());
+      b->state = ReplyBox::State::kWaiting;
+      b->waiter = o;
+      o->awaiting_box = b;
+      // Accepted patterns restore directly; everything else queues; the
+      // reply resumes through the box — whichever comes first wins.
+      o->vftp =
+          &o->cls->wait_sites[static_cast<std::size_t>(block_reason_.site)]->vft;
+      o->mode = Mode::kWaiting;
+      break;
+    }
+    case BlockReason::Kind::kSelect: {
+      stats_.blocks_select += 1;
+      ABCL_CHECK(block_reason_.site >= 0 &&
+                 static_cast<std::size_t>(block_reason_.site) <
+                     o->cls->wait_sites.size());
+      o->vftp =
+          &o->cls->wait_sites[static_cast<std::size_t>(block_reason_.site)]->vft;
+      o->mode = Mode::kWaiting;
+      break;
+    }
+    case BlockReason::Kind::kYield: {
+      stats_.yields += 1;
+      o->vftp = &o->cls->active;
+      o->mode = Mode::kWaiting;
+      charge(cm_->sched_enqueue);
+      stats_.sched_enqueues += 1;
+      sched_.push(o, SchedState::kQueuedResume);
+      break;
+    }
+    case BlockReason::Kind::kNone:
+      ABCL_CHECK_MSG(false, "method returned kBlocked without a block reason");
+  }
+  block_reason_ = {};
+}
+
+void NodeRuntime::resume_object(ObjectHeader* o) {
+  ABCL_CHECK(o->mode == Mode::kWaiting && o->blocked_frame != nullptr);
+  if (cfg_.policy == SchedPolicy::kStack && call_depth_ < cfg_.max_call_depth) {
+    ++call_depth_;
+    o->resume_entry(*this, o);
+    --call_depth_;
+  } else if (o->sched_state == SchedState::kNone) {
+    charge(cm_->sched_enqueue);
+    stats_.sched_enqueues += 1;
+    sched_.push(o, SchedState::kQueuedResume);
+  }
+  // else: a kQueuedNext item is already pending for this object; it will
+  // observe the (now full) reply box and resume through it.
+}
+
+// ----------------------------------------------------------------------------
+// Blocking protocol
+// ----------------------------------------------------------------------------
+
+Status NodeRuntime::block_await(const NowCall& c) {
+  ABCL_CHECK(c.box != nullptr);
+  block_reason_ = BlockReason{BlockReason::Kind::kAwait, c.box, -1};
+  return Status::kBlocked;
+}
+
+Status NodeRuntime::block_select(std::int32_t site) {
+  block_reason_ = BlockReason{BlockReason::Kind::kSelect, nullptr, site};
+  return Status::kBlocked;
+}
+
+Status NodeRuntime::block_await_select(const NowCall& c, std::int32_t site) {
+  ABCL_CHECK(c.box != nullptr);
+  block_reason_ = BlockReason{BlockReason::Kind::kAwaitSelect, c.box, site};
+  return Status::kBlocked;
+}
+
+Status NodeRuntime::block_yield() {
+  block_reason_ = BlockReason{BlockReason::Kind::kYield, nullptr, -1};
+  return Status::kBlocked;
+}
+
+std::uint16_t NodeRuntime::select_try(std::int32_t site, void* frame) {
+  ObjectHeader* o = cur_obj_;
+  ABCL_CHECK(o != nullptr && site >= 0 &&
+             static_cast<std::size_t>(site) < o->cls->wait_sites.size());
+  const WaitSite& ws = *o->cls->wait_sites[static_cast<std::size_t>(site)];
+  std::uint32_t scanned = 0;
+  MsgFrame* mf = o->mq.remove_first_if([&](MsgFrame& f) {
+    ++scanned;
+    return ws.find(f.pattern) != nullptr;
+  });
+  charge(static_cast<sim::Instr>(scanned) * cm_->select_scan_per_msg);
+  if (mf == nullptr) return kPcBlocked;
+  const WaitSite::Accept* a = ws.find(mf->pattern);
+  a->copy_in(frame, MsgView::of_frame(*mf));
+  free_msg_frame(mf);
+  return a->resume_pc;
+}
+
+// ----------------------------------------------------------------------------
+// Sends and replies
+// ----------------------------------------------------------------------------
+
+void NodeRuntime::send_past(MailAddr t, PatternId p, const Word* args, int nargs) {
+  ABCL_CHECK(!t.is_nil());
+  if (!cm_->opt.elide_locality_check) charge(cm_->locality_check);
+  if (t.node == id_) {
+    stats_.local_sends += 1;
+    if (t.ptr->is_idle_receiver()) {
+      stats_.local_to_dormant += 1;
+    } else if (t.ptr->mode == Mode::kActive) {
+      stats_.local_to_active += 1;
+    }
+    MsgView m{p, static_cast<std::uint8_t>(nargs), args, kNilReply};
+    deliver_local(t.ptr, m);
+  } else {
+    remote_send(t, p, args, nargs, kNilReply);
+  }
+}
+
+NowCall NodeRuntime::send_now(MailAddr t, PatternId p, const Word* args,
+                              int nargs) {
+  ABCL_CHECK(!t.is_nil());
+  charge(cm_->reply_box_alloc);
+  ReplyBox* box = alloc_reply_box();
+  ReplyDest rd{id_, box};
+  if (!cm_->opt.elide_locality_check) charge(cm_->locality_check);
+  if (t.node == id_) {
+    stats_.local_sends += 1;
+    if (t.ptr->is_idle_receiver()) {
+      stats_.local_to_dormant += 1;
+    } else if (t.ptr->mode == Mode::kActive) {
+      stats_.local_to_active += 1;
+    }
+    MsgView m{p, static_cast<std::uint8_t>(nargs), args, rd};
+    deliver_local(t.ptr, m);
+  } else {
+    remote_send(t, p, args, nargs, rd);
+  }
+  return NowCall{box};
+}
+
+void NodeRuntime::remote_send(MailAddr t, PatternId p, const Word* args,
+                              int nargs, const ReplyDest& rd) {
+  charge(cm_->send_setup);
+  stats_.remote_sends += 1;
+  trace(sim::TraceEv::kSendRemote);
+  net::Packet pkt;
+  pkt.handler = prog_->h_obj_msg(p);
+  pkt.src = id_;
+  pkt.dst = t.node;
+  pkt.send_time = clock_;
+  pkt.push(t.word_ptr());
+  pkt.push(rd.word_node());
+  pkt.push(rd.word_box());
+  for (int i = 0; i < nargs; ++i) pkt.push(args[i]);
+  net_->send(std::move(pkt), net::AmCategory::kObjectMessage);
+}
+
+void NodeRuntime::reply(const ReplyDest& rd, const Word* vals, int n) {
+  ABCL_CHECK(!rd.is_nil());
+  ABCL_CHECK(n >= 0 && n <= kMaxReplyWords);
+  stats_.replies_sent += 1;
+  if (rd.node == id_) {
+    deliver_reply_local(rd.box, vals, n);
+    return;
+  }
+  charge(cm_->send_setup);
+  stats_.remote_sends += 1;
+  net::Packet pkt;
+  pkt.handler = prog_->h_reply();
+  pkt.src = id_;
+  pkt.dst = rd.node;
+  pkt.send_time = clock_;
+  pkt.push(rd.word_box());
+  for (int i = 0; i < n; ++i) pkt.push(vals[i]);
+  net_->send(std::move(pkt), net::AmCategory::kObjectMessage);
+}
+
+void NodeRuntime::deliver_reply_local(ReplyBox* b, const Word* vals, int n) {
+  ABCL_CHECK(b != nullptr);
+  switch (b->state) {
+    case ReplyBox::State::kEmpty:
+      b->store(vals, n);
+      b->state = ReplyBox::State::kFull;
+      break;
+    case ReplyBox::State::kWaiting: {
+      ObjectHeader* o = b->waiter;
+      b->waiter = nullptr;
+      b->store(vals, n);
+      b->state = ReplyBox::State::kFull;
+      resume_object(o);
+      break;
+    }
+    case ReplyBox::State::kFull:
+      ABCL_CHECK_MSG(false, "double reply to a now-type message");
+  }
+}
+
+bool NodeRuntime::reply_ready(const NowCall& c) {
+  if (c.box == nullptr) return true;  // local-create fast path of CreateCall
+  charge(cm_->reply_check);
+  if (c.box->state == ReplyBox::State::kFull) {
+    stats_.await_fast_hits += 1;
+    return true;
+  }
+  return false;
+}
+
+Word NodeRuntime::peek_reply(const NowCall& c, int i) const {
+  ABCL_CHECK(c.box != nullptr && c.box->state == ReplyBox::State::kFull);
+  ABCL_CHECK(i >= 0 && i < c.box->nvals);
+  return c.box->vals[i];
+}
+
+Word NodeRuntime::take_reply(NowCall& c) {
+  ABCL_CHECK(c.box != nullptr && c.box->state == ReplyBox::State::kFull);
+  Word v = c.box->nvals > 0 ? c.box->vals[0] : 0;
+  free_reply_box(c.box);
+  c.box = nullptr;
+  return v;
+}
+
+// ----------------------------------------------------------------------------
+// Object creation
+// ----------------------------------------------------------------------------
+
+ObjectHeader* NodeRuntime::alloc_object(const ClassInfo& cls) {
+  trace(sim::TraceEv::kCreate);
+  std::size_t bytes = object_alloc_bytes(cls.state_bytes);
+  auto szcls = static_cast<std::uint16_t>(util::PoolAllocator::size_class(bytes));
+  void* mem = pool_.allocate(bytes);
+  auto* o = new (mem) ObjectHeader();
+  o->cls = &cls;
+  o->home = id_;
+  o->mode = Mode::kDormant;
+  o->needs_init = true;
+  o->vftp = &cls.lazy_init;
+  o->alloc_size_class = szcls;
+  o->live_next = live_head_;
+  o->live_pprev = &live_head_;
+  if (live_head_ != nullptr) live_head_->live_pprev = &o->live_next;
+  live_head_ = o;
+  ++live_objects_;
+  ++total_created_;
+  return o;
+}
+
+ObjectHeader* NodeRuntime::format_chunk(std::uint16_t size_class) {
+  void* mem = pool_.allocate(util::PoolAllocator::class_bytes(size_class));
+  auto* o = new (mem) ObjectHeader();
+  o->cls = nullptr;
+  o->home = id_;
+  o->mode = Mode::kFault;
+  o->needs_init = true;
+  o->vftp = &prog_->fault_vft();
+  o->alloc_size_class = size_class;
+  o->live_next = live_head_;
+  o->live_pprev = &live_head_;
+  if (live_head_ != nullptr) live_head_->live_pprev = &o->live_next;
+  live_head_ = o;
+  ++live_objects_;
+  ++total_created_;
+  return o;
+}
+
+void NodeRuntime::destroy_object(ObjectHeader* o) {
+  if (o->cls != nullptr && !o->needs_init && o->cls->destruct != nullptr) {
+    o->cls->destruct(o->state());
+  }
+  while (MsgFrame* f = o->mq.pop_front()) free_msg_frame(f);
+  if (o->pending_init != nullptr) free_msg_frame(o->pending_init);
+  // Unlink from the live list.
+  *o->live_pprev = o->live_next;
+  if (o->live_next != nullptr) o->live_next->live_pprev = o->live_pprev;
+  std::uint16_t szcls = o->alloc_size_class;
+  o->~ObjectHeader();
+  pool_.deallocate(o, util::PoolAllocator::class_bytes(szcls));
+  --live_objects_;
+}
+
+void NodeRuntime::maybe_retire(ObjectHeader* o) {
+  if (!o->retired) return;
+  if (o->mode != Mode::kDormant || !o->mq.empty() ||
+      o->blocked_frame != nullptr || o->sched_state != SchedState::kNone) {
+    return;
+  }
+  destroy_object(o);
+}
+
+void NodeRuntime::retire_self() {
+  ABCL_CHECK(cur_obj_ != nullptr);
+  cur_obj_->retired = true;
+}
+
+MailAddr NodeRuntime::create_local(const ClassInfo& cls, const Word* args,
+                                   int nargs) {
+  charge(cm_->create_local);
+  stats_.creations_local += 1;
+  ObjectHeader* o = alloc_object(cls);
+  if (nargs > 0) {
+    MsgFrame* f = alloc_msg_frame();
+    f->pattern = 0;
+    f->nargs = static_cast<std::uint8_t>(nargs);
+    f->reply = kNilReply;
+    for (int i = 0; i < nargs; ++i) f->args[i] = args[i];
+    o->pending_init = f;
+  }
+  return MailAddr{id_, o};
+}
+
+CreateCall NodeRuntime::remote_create_begin(const ClassInfo& cls, NodeId target,
+                                            const Word* args, int nargs) {
+  if (target == id_) return CreateCall{create_local(cls, args, nargs), {}};
+  ABCL_CHECK(target >= 0 && target < num_nodes());
+  charge(cm_->create_remote_local_part);
+  stats_.creations_remote += 1;
+  std::uint16_t szcls = object_size_class(cls);
+  if (auto chunk = stock_try_pop(target, szcls)) {
+    stats_.chunk_stock_hits += 1;
+    send_create_packet(cls, target, *chunk, args, nargs);
+    return CreateCall{MailAddr{target, *chunk}, {}};
+  }
+  // Stock empty: split-phase fallback — request a chunk and await it.
+  stats_.chunk_stock_misses += 1;
+  charge(cm_->reply_box_alloc);
+  ReplyBox* b = alloc_reply_box();
+  auto* pc = static_cast<PendingCreate*>(pool_.allocate(sizeof(PendingCreate)));
+  new (pc) PendingCreate();
+  pc->cls = &cls;
+  pc->target = target;
+  pc->nargs = static_cast<std::uint8_t>(nargs);
+  for (int i = 0; i < nargs; ++i) pc->args[i] = args[i];
+  b->pending_create = pc;
+
+  charge(cm_->send_setup);
+  stats_.remote_sends += 1;
+  net::Packet pkt;
+  pkt.handler = prog_->h_alloc_request();
+  pkt.src = id_;
+  pkt.dst = target;
+  pkt.send_time = clock_;
+  pkt.push(szcls);
+  pkt.push(reinterpret_cast<Word>(b));
+  net_->send(std::move(pkt), net::AmCategory::kCreateRequest);
+  return CreateCall{kNilAddr, NowCall{b}};
+}
+
+MailAddr NodeRuntime::remote_create_finish(CreateCall& c) {
+  if (c.call.box != nullptr) {
+    ReplyBox* b = c.call.box;
+    ABCL_CHECK(b->state == ReplyBox::State::kFull);
+    auto* pc = static_cast<PendingCreate*>(b->pending_create);
+    ABCL_CHECK(pc != nullptr);
+    auto* chunk = reinterpret_cast<ObjectHeader*>(b->vals[0]);
+    send_create_packet(*pc->cls, pc->target, chunk, pc->args, pc->nargs);
+    c.addr = MailAddr{pc->target, chunk};
+    pc->~PendingCreate();
+    pool_.deallocate(pc, sizeof(PendingCreate));
+    free_reply_box(b);
+    c.call.box = nullptr;
+  }
+  return c.addr;
+}
+
+void NodeRuntime::send_create_packet(const ClassInfo& cls, NodeId target,
+                                     ObjectHeader* chunk, const Word* args,
+                                     int nargs) {
+  charge(cm_->send_setup);
+  stats_.remote_sends += 1;
+  net::Packet pkt;
+  pkt.handler = prog_->h_create(cls.id);
+  pkt.src = id_;
+  pkt.dst = target;
+  pkt.send_time = clock_;
+  pkt.push(reinterpret_cast<Word>(chunk));
+  for (int i = 0; i < nargs; ++i) pkt.push(args[i]);
+  net_->send(std::move(pkt), net::AmCategory::kCreateRequest);
+}
+
+bool NodeRuntime::inline_guard(MailAddr target, const ClassInfo& cls) {
+  charge(cm_->locality_check + cm_->inline_mode_check);
+  return target.node == id_ && target.ptr->vftp == &cls.dormant;
+}
+
+// ----------------------------------------------------------------------------
+// Pools
+// ----------------------------------------------------------------------------
+
+MsgFrame* NodeRuntime::alloc_msg_frame() {
+  auto* f = static_cast<MsgFrame*>(pool_.allocate(sizeof(MsgFrame)));
+  return new (f) MsgFrame();
+}
+
+void NodeRuntime::free_msg_frame(MsgFrame* f) {
+  pool_.deallocate(f, sizeof(MsgFrame));
+}
+
+ReplyBox* NodeRuntime::alloc_reply_box() {
+  auto* b = static_cast<ReplyBox*>(pool_.allocate(sizeof(ReplyBox)));
+  return new (b) ReplyBox();
+}
+
+void NodeRuntime::free_reply_box(ReplyBox* b) {
+  pool_.deallocate(b, sizeof(ReplyBox));
+}
+
+// ----------------------------------------------------------------------------
+// Chunk stock
+// ----------------------------------------------------------------------------
+
+std::optional<ObjectHeader*> NodeRuntime::stock_try_pop(NodeId peer,
+                                                        std::uint16_t szcls) {
+  return stock_.try_pop(peer, szcls);
+}
+
+void NodeRuntime::stock_push(NodeId peer, std::uint16_t szcls,
+                             ObjectHeader* chunk) {
+  stock_.push(peer, szcls, chunk);
+}
+
+std::size_t NodeRuntime::stock_depth(NodeId peer, std::uint16_t szcls) const {
+  return stock_.depth(peer, szcls);
+}
+
+void NodeRuntime::seed_stock_from(NodeRuntime& peer_rt, const ClassInfo& cls,
+                                  int depth) {
+  ABCL_CHECK(&peer_rt != this);
+  std::uint16_t szcls = object_size_class(cls);
+  for (int i = 0; i < depth; ++i) {
+    stock_push(peer_rt.node_id(), szcls, peer_rt.format_chunk(szcls));
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Services (Category 4)
+// ----------------------------------------------------------------------------
+
+void NodeRuntime::gossip_load_now() {
+  auto load = static_cast<Word>(sched_.size());
+  for (NodeId nb : net_->topology().neighbors(id_)) {
+    charge(cm_->send_setup);
+    net::Packet pkt;
+    pkt.handler = prog_->h_load_gossip();
+    pkt.src = id_;
+    pkt.dst = nb;
+    pkt.send_time = clock_;
+    pkt.push(load);
+    net_->send(std::move(pkt), net::AmCategory::kService);
+  }
+}
+
+void NodeRuntime::boot(const std::function<void(NodeRuntime&)>& fn) {
+  deliveries_this_quantum_ = 0;
+  quantum_start_clock_ = clock_;
+  fn(*this);
+}
+
+// ----------------------------------------------------------------------------
+// Active-message handler bodies
+// ----------------------------------------------------------------------------
+
+void NodeRuntime::on_obj_msg(const net::Packet& pkt) {
+  PatternId p = prog_->pattern_of_handler(pkt.handler);
+  auto* o = reinterpret_cast<ObjectHeader*>(pkt.at(0));
+  ABCL_CHECK_MSG(o->home == id_, "object message routed to the wrong node");
+  ReplyDest rd = ReplyDest::from_words(pkt.at(1), pkt.at(2));
+  MsgView m{p, static_cast<std::uint8_t>(pkt.nwords - 3), &pkt.payload[3], rd};
+  deliver_local(o, m);
+}
+
+void NodeRuntime::on_reply(const net::Packet& pkt) {
+  auto* b = reinterpret_cast<ReplyBox*>(pkt.at(0));
+  deliver_reply_local(b, &pkt.payload[1], pkt.nwords - 1);
+}
+
+void NodeRuntime::on_create(const net::Packet& pkt) {
+  const ClassInfo& cls = prog_->cls(prog_->class_of_handler(pkt.handler));
+  auto* chunk = reinterpret_cast<ObjectHeader*>(pkt.at(0));
+  ABCL_CHECK(chunk->home == id_);
+  ABCL_CHECK_MSG(chunk->mode == Mode::kFault,
+                 "creation request for an already-installed chunk");
+  ABCL_CHECK(chunk->alloc_size_class == object_size_class(cls));
+  charge(cm_->create_remote_install);
+
+  chunk->cls = &cls;
+  MsgView ctor{0, static_cast<std::uint8_t>(pkt.nwords - 1), &pkt.payload[1],
+               kNilReply};
+  cls.construct(chunk->state(), ctor);
+  chunk->needs_init = false;
+  if (!chunk->mq.empty()) {
+    // Messages raced ahead of the creation request and were fault-queued;
+    // process them in arrival order through the scheduling queue.
+    chunk->vftp = &cls.active;
+    chunk->mode = Mode::kActive;
+    charge(cm_->sched_enqueue);
+    stats_.sched_enqueues += 1;
+    sched_.push(chunk, SchedState::kQueuedNext);
+  } else {
+    chunk->vftp = &cls.dormant;
+    chunk->mode = Mode::kDormant;
+  }
+
+  if (cfg_.disable_replenish) return;
+
+  // Replenish the requester's stock (Category 3).
+  ObjectHeader* fresh = format_chunk(chunk->alloc_size_class);
+  charge(cm_->send_setup);
+  net::Packet rep;
+  rep.handler = prog_->h_replenish(chunk->alloc_size_class);
+  rep.src = id_;
+  rep.dst = pkt.src;
+  rep.send_time = clock_;
+  rep.push(reinterpret_cast<Word>(fresh));
+  net_->send(std::move(rep), net::AmCategory::kAllocReply);
+}
+
+void NodeRuntime::on_alloc_request(const net::Packet& pkt) {
+  auto szcls = static_cast<std::uint16_t>(pkt.at(0));
+  ObjectHeader* fresh = format_chunk(szcls);
+  Word v = reinterpret_cast<Word>(fresh);
+  reply(ReplyDest{pkt.src, reinterpret_cast<ReplyBox*>(pkt.at(1))}, &v, 1);
+}
+
+void NodeRuntime::on_replenish(const net::Packet& pkt) {
+  charge(cm_->chunk_replenish);
+  std::uint16_t szcls = prog_->size_class_of_handler(pkt.handler);
+  stock_push(pkt.src, szcls, reinterpret_cast<ObjectHeader*>(pkt.at(0)));
+}
+
+void NodeRuntime::on_load_gossip(const net::Packet& pkt) {
+  note_peer_load(pkt.src, static_cast<std::uint32_t>(pkt.at(0)));
+}
+
+// ----------------------------------------------------------------------------
+// Builtin handler registration (called from Program::finalize)
+// ----------------------------------------------------------------------------
+
+namespace {
+
+template <void (NodeRuntime::*Member)(const net::Packet&)>
+void trampoline(void* ctx, const net::Packet& pkt) {
+  (static_cast<NodeRuntime*>(ctx)->*Member)(pkt);
+}
+
+}  // namespace
+
+void register_builtin_handlers(Program& prog) {
+  auto& am = prog.am_;
+
+  // Category 1: one specialized handler per message pattern.
+  for (std::size_t p = 0; p < prog.patterns_.size(); ++p) {
+    net::HandlerId id =
+        am.register_handler("msg:" + prog.patterns_.info(static_cast<PatternId>(p)).name,
+                            &trampoline<&NodeRuntime::on_obj_msg>,
+                            net::AmCategory::kObjectMessage);
+    if (p == 0) prog.h_obj_msg_base_ = id;
+  }
+
+  prog.h_reply_ = am.register_handler("reply", &trampoline<&NodeRuntime::on_reply>,
+                                      net::AmCategory::kObjectMessage);
+
+  // Category 2: one handler per class.
+  for (std::size_t c = 0; c < prog.classes_.size(); ++c) {
+    net::HandlerId id = am.register_handler(
+        "create:" + prog.classes_[c]->name, &trampoline<&NodeRuntime::on_create>,
+        net::AmCategory::kCreateRequest);
+    if (c == 0) prog.h_create_base_ = id;
+  }
+
+  prog.h_alloc_request_ =
+      am.register_handler("alloc-request", &trampoline<&NodeRuntime::on_alloc_request>,
+                          net::AmCategory::kCreateRequest);
+
+  // Category 3: one handler per chunk size class.
+  for (std::size_t s = 0; s < util::PoolAllocator::kNumClasses; ++s) {
+    net::HandlerId id = am.register_handler(
+        "replenish:" + std::to_string(util::PoolAllocator::class_bytes(s)) + "B",
+        &trampoline<&NodeRuntime::on_replenish>, net::AmCategory::kAllocReply);
+    if (s == 0) prog.h_replenish_base_ = id;
+  }
+
+  // Category 4: services.
+  prog.h_load_gossip_ =
+      am.register_handler("load-gossip", &trampoline<&NodeRuntime::on_load_gossip>,
+                          net::AmCategory::kService);
+}
+
+}  // namespace abcl::core

@@ -1,0 +1,326 @@
+// NodeRuntime: one simulated processor's ABCL runtime (Sections 4 and 5).
+//
+// Single-threaded by construction (one node = one thread of control); owns
+// the node heap, frame/box pools, the message-polling loop, the intra-node
+// scheduler and the chunk stocks. All user method code runs inside
+// step()'s dispatch cascades; the public methods below are the "runtime
+// calls" the compiled methods (our DSL state machines) make.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frame.hpp"
+#include "core/mail_addr.hpp"
+#include "core/object.hpp"
+#include "core/program.hpp"
+#include "core/reply.hpp"
+#include "core/scheduler.hpp"
+#include "net/network.hpp"
+#include "remote/chunk_stock.hpp"
+#include "remote/placement.hpp"
+#include "remote/services.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
+
+namespace abcl::core {
+
+// Result of beginning a remote creation: either the mail address is already
+// known (chunk-stock hit — the fast path that hides the round trip), or the
+// stock was empty and the caller must await `call` before finishing
+// (split-phase fallback; "only when the stock is empty does context
+// switching occur").
+struct CreateCall {
+  MailAddr addr;
+  NowCall call;  // pending chunk allocation; box == nullptr on the fast path
+
+  bool ready() const { return call.box == nullptr; }
+};
+
+class NodeRuntime final : public sim::NodeExec {
+ public:
+  struct Config {
+    SchedPolicy policy = SchedPolicy::kStack;
+    int max_call_depth = 48;        // direct-call cascade bound (preemption)
+    int max_packets_per_quantum = 32;
+    // Instructions a quantum may charge before should_yield() turns true
+    // (long internal loops check it via ABCL_YIELD — Section 4.3's
+    // preemption of long loops / deep recursions).
+    std::uint32_t reduction_budget = 4096;
+    int chunk_stock_target = 2;     // steady-state stock depth per (peer,size)
+    // Disables Category-3 replenishment, degrading every remote creation to
+    // split-phase allocation — the baseline the paper's stock scheme is
+    // designed to beat (ablation support).
+    bool disable_replenish = false;
+    std::uint32_t gossip_interval = 0;  // quanta between load gossips; 0 = off
+    std::uint64_t seed = 1;
+  };
+
+  NodeRuntime(NodeId id, Program& prog, net::Network& net,
+              const sim::CostModel& cm, Config cfg);
+  ~NodeRuntime() override;
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  // ----- sim::NodeExec ---------------------------------------------------
+  sim::NodeId node_id() const override { return id_; }
+  sim::Instr clock() const override { return clock_; }
+  bool runnable() const override;
+  sim::Instr next_wake() const override { return net_->next_arrival(id_); }
+  void advance_clock(sim::Instr t) override;
+  void step() override;
+
+  // ----- message sends (runtime calls made by methods) --------------------
+  void send_past(MailAddr target, PatternId p, std::initializer_list<Word> args) {
+    send_past(target, p, args.begin(), static_cast<int>(args.size()));
+  }
+  void send_past(MailAddr target, PatternId p, const Word* args, int nargs);
+  void send_past(MailAddr target, PatternId p, const WordSpan& a) {
+    send_past(target, p, a.ptr, a.n);
+  }
+
+  NowCall send_now(MailAddr target, PatternId p, std::initializer_list<Word> args) {
+    return send_now(target, p, args.begin(), static_cast<int>(args.size()));
+  }
+  NowCall send_now(MailAddr target, PatternId p, const Word* args, int nargs);
+  NowCall send_now(MailAddr target, PatternId p, const WordSpan& a) {
+    return send_now(target, p, a.ptr, a.n);
+  }
+
+  // Delivers a reply to `rd` (locally fills the box and possibly resumes
+  // the blocked owner; remotely sends the reply active message).
+  void reply(const ReplyDest& rd, std::initializer_list<Word> vals) {
+    reply(rd, vals.begin(), static_cast<int>(vals.size()));
+  }
+  void reply(const ReplyDest& rd, const Word* vals, int n);
+
+  // Checks a now-call's reply box (charges the reply-check cost).
+  bool reply_ready(const NowCall& c);
+  // Reads value word `i` without consuming.
+  Word peek_reply(const NowCall& c, int i = 0) const;
+  // Consumes the reply: frees the box. Returns value word 0.
+  Word take_reply(NowCall& c);
+
+  // ----- object creation ---------------------------------------------------
+  MailAddr create_local(const ClassInfo& cls, std::initializer_list<Word> args) {
+    return create_local(cls, args.begin(), static_cast<int>(args.size()));
+  }
+  MailAddr create_local(const ClassInfo& cls, const Word* args, int nargs);
+  MailAddr create_local(const ClassInfo& cls, const WordSpan& a) {
+    return create_local(cls, a.ptr, a.n);
+  }
+
+  CreateCall remote_create_begin(const ClassInfo& cls, NodeId target,
+                                 std::initializer_list<Word> args) {
+    return remote_create_begin(cls, target, args.begin(),
+                               static_cast<int>(args.size()));
+  }
+  CreateCall remote_create_begin(const ClassInfo& cls, NodeId target,
+                                 const Word* args, int nargs);
+  CreateCall remote_create_begin(const ClassInfo& cls, NodeId target,
+                                 const WordSpan& a) {
+    return remote_create_begin(cls, target, a.ptr, a.n);
+  }
+  MailAddr remote_create_finish(CreateCall& c);
+
+  // Marks the current object for reclamation once it returns to dormant
+  // mode with an empty queue. (Extension: the paper defers GC to future
+  // work; explicit retirement lets large benchmarks bound their heaps.)
+  void retire_self();
+
+  // ----- blocking protocol (used by the DSL macros inside run()) ----------
+  Status block_await(const NowCall& c);
+  Status block_select(std::int32_t site);
+  // Hybrid wait (Section 2.2 action 4: selective reception *including
+  // replies of now-type messages*): blocks until either the call's reply
+  // arrives (continues at the frame's current pc) or a pattern accepted by
+  // `site` restores the context (continues at that accept's resume_pc). If
+  // the select alternative wins, the reply registration is cancelled — the
+  // box stays valid and a later reply simply fills it.
+  Status block_await_select(const NowCall& c, std::int32_t site);
+  Status block_yield();
+  bool should_yield() const {
+    return clock_ - quantum_start_clock_ >= cfg_.reduction_budget;
+  }
+
+  // Scans the current object's message queue for a pattern accepted by
+  // `site`; on a hit copies the message into `frame`, frees it and returns
+  // the continuation pc; else returns kPcBlocked.
+  std::uint16_t select_try(std::int32_t site, void* frame);
+
+  // ----- dispatch internals (used by generated entries; see dispatch.hpp) -
+  Status deliver_local(ObjectHeader* o, const MsgView& m);
+  Status dispatch_body(ObjectHeader* o, const MsgView& m);
+  void method_epilogue(ObjectHeader* o);
+  void commit_block(ObjectHeader* o, CtxFrameBase* hf, ResumeFn resume);
+  void resume_object(ObjectHeader* o);
+  void queue_message(ObjectHeader* o, const MsgView& m);
+
+  ObjectHeader* current_object() const { return cur_obj_; }
+  void set_current_object(ObjectHeader* o) { cur_obj_ = o; }
+
+  // Mail address of the object whose method is currently executing.
+  MailAddr self_addr() const {
+    ABCL_DCHECK(cur_obj_ != nullptr);
+    return MailAddr{id_, cur_obj_};
+  }
+
+  // ----- memory ------------------------------------------------------------
+  template <class FrameT>
+  FrameT* alloc_ctx_frame() {
+    auto* f = static_cast<FrameT*>(pool_.allocate(sizeof(FrameT)));
+    f->bytes = sizeof(FrameT);
+    return f;
+  }
+  void free_ctx_frame(CtxFrameBase* f) { pool_.deallocate(f, f->bytes); }
+
+  MsgFrame* alloc_msg_frame();
+  void free_msg_frame(MsgFrame* f);
+  ReplyBox* alloc_reply_box();
+  void free_reply_box(ReplyBox* b);
+
+  // Formats a fresh fault-mode chunk of the given pool size class (used by
+  // the remote-creation protocol and by boot-time stock seeding).
+  ObjectHeader* format_chunk(std::uint16_t size_class);
+
+  // ----- inlined-send support (Section 8.2) --------------------------------
+  // Guarded fast path for a compile-time-known receiver class: true iff the
+  // receiver is local AND its VFTP designates the class's dormant table, in
+  // which case the caller may run the inlined method body directly.
+  bool inline_guard(MailAddr target, const ClassInfo& cls);
+
+  // ----- services / accounting ---------------------------------------------
+  void charge(sim::Instr n) {
+    clock_ += n;
+    stats_.busy_instr += n;
+  }
+  const sim::CostModel& cost_model() const { return *cm_; }
+  Program& program() { return *prog_; }
+  net::Network& network() { return *net_; }
+  NodeId num_nodes() const { return net_->topology().num_nodes(); }
+  util::Xoshiro256& rng() { return rng_; }
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+  const Config& config() const { return cfg_; }
+  std::size_t live_objects() const { return live_objects_; }
+  std::size_t heap_bytes() const { return arena_.bytes_allocated(); }
+  std::uint32_t sched_queue_len() const {
+    return static_cast<std::uint32_t>(sched_.size());
+  }
+
+  // Known loads of peers (maintained by the Category-4 gossip service).
+  std::uint32_t known_load(NodeId peer) const { return loads_.get(peer); }
+  void note_peer_load(NodeId peer, std::uint32_t load) { loads_.note(peer, load); }
+  void gossip_load_now();
+
+  // Placement policy used by apps for remote creation targets.
+  remote::Placement& placement() { return placement_; }
+  const remote::ChunkStock& chunk_stock() const { return stock_; }
+
+  // Runs `fn` as bootstrap code on this node (before or between machine
+  // runs); `fn` may create objects and send messages.
+  void boot(const std::function<void(NodeRuntime&)>& fn);
+
+  // Optional execution tracing (one branch per hot-path event when unset).
+  void set_tracer(sim::Tracer* t) { tracer_ = t; }
+  void trace(sim::TraceEv ev) {
+    if (tracer_ != nullptr) tracer_->record(clock_, id_, ev);
+  }
+
+  // Chunk-stock interface (implementation in remote/chunk_stock).
+  std::optional<ObjectHeader*> stock_try_pop(NodeId peer, std::uint16_t szcls);
+  void stock_push(NodeId peer, std::uint16_t szcls, ObjectHeader* chunk);
+  std::size_t stock_depth(NodeId peer, std::uint16_t szcls) const;
+
+  // Boot-time warm-up: pre-issues `depth` chunks of `cls`'s size class from
+  // `peer_rt`'s heap into this node's stock (models the paper's
+  // "predelivered stocks" without running the protocol).
+  void seed_stock_from(NodeRuntime& peer_rt, const ClassInfo& cls, int depth);
+
+  // Objects ever created on this node (monotone; for reports/leak checks).
+  std::uint64_t total_created() const { return total_created_; }
+
+ private:
+  friend void register_builtin_handlers(Program& prog);
+
+  struct BlockReason {
+    enum class Kind : std::uint8_t {
+      kNone,
+      kAwait,
+      kSelect,
+      kAwaitSelect,
+      kYield,
+    } kind = Kind::kNone;
+    ReplyBox* box = nullptr;
+    std::int32_t site = -1;
+  };
+
+  struct PendingCreate {
+    const ClassInfo* cls = nullptr;
+    NodeId target = -1;
+    std::uint8_t nargs = 0;
+    Word args[kMaxArgs] = {};
+  };
+
+  ObjectHeader* alloc_object(const ClassInfo& cls);
+  void destroy_object(ObjectHeader* o);
+  void maybe_retire(ObjectHeader* o);
+  void run_sched_item(ObjectHeader* o);
+  void remote_send(MailAddr target, PatternId p, const Word* args, int nargs,
+                   const ReplyDest& rd);
+  void send_create_packet(const ClassInfo& cls, NodeId target,
+                          ObjectHeader* chunk, const Word* args, int nargs);
+  void deliver_reply_local(ReplyBox* box, const Word* vals, int n);
+  void naive_local_send(ObjectHeader* o, const MsgView& m);
+
+  // Active-message handler bodies (dispatched via Program's registry).
+  void on_obj_msg(const net::Packet& pkt);
+  void on_reply(const net::Packet& pkt);
+  void on_create(const net::Packet& pkt);
+  void on_alloc_request(const net::Packet& pkt);
+  void on_replenish(const net::Packet& pkt);
+  void on_load_gossip(const net::Packet& pkt);
+
+  NodeId id_;
+  Program* prog_;
+  net::Network* net_;
+  const sim::CostModel* cm_;
+  Config cfg_;
+
+  sim::Instr clock_ = 0;
+  util::Arena arena_;
+  util::PoolAllocator pool_;
+  SchedQueue sched_;
+  NodeStats stats_;
+  util::Xoshiro256 rng_;
+
+  ObjectHeader* cur_obj_ = nullptr;
+  int call_depth_ = 0;
+  std::uint32_t deliveries_this_quantum_ = 0;
+  sim::Instr quantum_start_clock_ = 0;
+  BlockReason block_reason_;
+
+  sim::Tracer* tracer_ = nullptr;
+  ObjectHeader* live_head_ = nullptr;
+  std::size_t live_objects_ = 0;
+  std::uint64_t total_created_ = 0;
+  std::uint64_t quanta_run_ = 0;
+
+  remote::ChunkStock stock_;
+  remote::LoadMap loads_;
+  remote::Placement placement_;
+};
+
+// Registers the builtin active-message handlers on `prog`'s registry;
+// called by Program::finalize(). Defined alongside NodeRuntime because the
+// handler bodies are runtime internals.
+void register_builtin_handlers(Program& prog);
+
+}  // namespace abcl::core

@@ -1,0 +1,35 @@
+#include "core/pattern.hpp"
+
+#include "util/assert.hpp"
+
+namespace abcl::core {
+
+PatternId PatternRegistry::intern(std::string_view name, std::uint8_t arity) {
+  ABCL_CHECK_MSG(!frozen_, "pattern registry frozen (program already finalized)");
+  ABCL_CHECK(arity <= kMaxArgs);
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].name == name) {
+      ABCL_CHECK_MSG(infos_[i].arity == arity,
+                     "pattern re-interned with a different arity");
+      return static_cast<PatternId>(i);
+    }
+  }
+  ABCL_CHECK_MSG(infos_.size() < 0xFFFe, "too many message patterns");
+  infos_.push_back(PatternInfo{std::string(name), arity});
+  return static_cast<PatternId>(infos_.size() - 1);
+}
+
+PatternId PatternRegistry::id_of(std::string_view name) const {
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].name == name) return static_cast<PatternId>(i);
+  }
+  ABCL_CHECK_MSG(false, "unknown message pattern");
+  return 0;
+}
+
+const PatternInfo& PatternRegistry::info(PatternId id) const {
+  ABCL_CHECK(id < infos_.size());
+  return infos_[id];
+}
+
+}  // namespace abcl::core

@@ -1,0 +1,44 @@
+// Message pattern registry (Section 2.4).
+//
+// A pattern is the combination of a message's keywords and argument types;
+// the compiler assigns each pattern a unique small integer at compile time
+// and every virtual function table is indexed by it. Here registration
+// happens at program-construction time (our "compile time"), before any
+// node runs; the registry is immutable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace abcl::core {
+
+struct PatternInfo {
+  std::string name;
+  std::uint8_t arity = 0;
+};
+
+class PatternRegistry {
+ public:
+  // Interns `name` with the given arity. Re-interning the same name must
+  // use the same arity (a pattern is keyword + argument types).
+  PatternId intern(std::string_view name, std::uint8_t arity);
+
+  // Looks up an existing pattern; aborts if unknown.
+  PatternId id_of(std::string_view name) const;
+
+  const PatternInfo& info(PatternId id) const;
+  std::size_t size() const { return infos_.size(); }
+
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::vector<PatternInfo> infos_;
+  bool frozen_ = false;
+};
+
+}  // namespace abcl::core

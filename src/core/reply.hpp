@@ -1,0 +1,49 @@
+// Reply-destination boxes (Sections 2.2, 4.3).
+//
+// A now-type send allocates a reply box from the node's pool and passes its
+// address (node, box pointer) as the message's reply destination. The box is
+// an addressable object in its own right: any holder of the reply
+// destination may fill it, locally or via the reply active message. After
+// the send returns, the sender checks the box — with stack-based scheduling
+// the callee usually ran first, so the box is already full and no blocking
+// occurs; otherwise the sender spills its frame and the box resumes it when
+// the reply arrives.
+#pragma once
+
+#include "core/mail_addr.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace abcl::core {
+
+inline constexpr int kMaxReplyWords = 4;
+
+struct ReplyBox {
+  enum class State : std::uint8_t {
+    kEmpty,    // no reply yet, owner not blocked
+    kFull,     // reply stored, owner not yet resumed
+    kWaiting,  // owner blocked on this box
+  };
+
+  State state = State::kEmpty;
+  std::uint8_t nvals = 0;
+  ObjectHeader* waiter = nullptr;  // valid iff state == kWaiting
+  void* pending_create = nullptr;  // cookie for remote-create stock misses
+  Word vals[kMaxReplyWords] = {};
+
+  void store(const Word* v, int n) {
+    ABCL_DCHECK(n >= 0 && n <= kMaxReplyWords);
+    for (int i = 0; i < n; ++i) vals[i] = v[i];
+    nvals = static_cast<std::uint8_t>(n);
+  }
+};
+
+// Handle a method keeps (in its frame) for an outstanding now-type call.
+// Trivially copyable so frames containing it can be spilled by memcpy.
+struct NowCall {
+  ReplyBox* box = nullptr;
+
+  bool pending() const { return box != nullptr; }
+};
+
+}  // namespace abcl::core

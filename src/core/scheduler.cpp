@@ -1,0 +1,29 @@
+#include "core/scheduler.hpp"
+
+namespace abcl::core {
+
+void NodeStats::merge(const NodeStats& o) {
+  local_sends += o.local_sends;
+  local_to_dormant += o.local_to_dormant;
+  local_to_active += o.local_to_active;
+  local_to_waiting_hit += o.local_to_waiting_hit;
+  forced_buffer_depth += o.forced_buffer_depth;
+  remote_sends += o.remote_sends;
+  remote_recv += o.remote_recv;
+  replies_sent += o.replies_sent;
+  blocks_await += o.blocks_await;
+  blocks_select += o.blocks_select;
+  yields += o.yields;
+  resumes += o.resumes;
+  await_fast_hits += o.await_fast_hits;
+  creations_local += o.creations_local;
+  creations_remote += o.creations_remote;
+  chunk_stock_hits += o.chunk_stock_hits;
+  chunk_stock_misses += o.chunk_stock_misses;
+  sched_enqueues += o.sched_enqueues;
+  sched_dispatches += o.sched_dispatches;
+  busy_instr += o.busy_instr;
+  idle_instr += o.idle_instr;
+}
+
+}  // namespace abcl::core

@@ -1,0 +1,84 @@
+// Intra-node scheduling queue, policy selection and per-node statistics
+// (Sections 4.1, 4.3, 6.3).
+//
+// The scheduling queue is node-wise and FIFO; each item is an object plus a
+// continuation kind — "process the next buffered message" or "resume the
+// saved context" — which together with the frame's pc is the paper's
+// (object pointer, continuation address) pair. Under the stack policy the
+// queue is used only for once-buffered messages and preempted objects; the
+// naive policy (Figure 6's baseline) routes *every* local message through
+// it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/object.hpp"
+#include "sim/time.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace abcl::core {
+
+enum class SchedPolicy : std::uint8_t {
+  kStack,  // the paper's integrated stack/queue scheduling
+  kNaive,  // always buffer + schedule through the queue
+};
+
+class SchedQueue {
+ public:
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  // Enqueues `o` with the given continuation kind. An object is in the
+  // queue at most once; conflicting kinds indicate a runtime bug.
+  void push(ObjectHeader* o, SchedState kind) {
+    ABCL_DCHECK(kind != SchedState::kNone);
+    if (o->sched_state != SchedState::kNone) {
+      ABCL_CHECK_MSG(o->sched_state == kind,
+                     "conflicting scheduling-continuation kinds");
+      return;
+    }
+    o->sched_state = kind;
+    q_.push_back(o);
+  }
+
+  ObjectHeader* pop() { return q_.pop_front(); }
+
+ private:
+  util::IntrusiveFifo<ObjectHeader, &ObjectHeader::sched_next> q_;
+};
+
+// Per-node runtime statistics; aggregated by the World into run reports and
+// used directly by the Table/Figure benches.
+struct NodeStats {
+  // local message delivery
+  std::uint64_t local_sends = 0;
+  std::uint64_t local_to_dormant = 0;   // ran immediately on the stack
+  std::uint64_t local_to_active = 0;    // buffered via a queuing procedure
+  std::uint64_t local_to_waiting_hit = 0;  // awaited pattern, restored context
+  std::uint64_t forced_buffer_depth = 0;   // stack-depth preemption
+  // remote messaging
+  std::uint64_t remote_sends = 0;
+  std::uint64_t remote_recv = 0;
+  std::uint64_t replies_sent = 0;
+  // blocking
+  std::uint64_t blocks_await = 0;
+  std::uint64_t blocks_select = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t await_fast_hits = 0;   // reply already present at check
+  // creation
+  std::uint64_t creations_local = 0;
+  std::uint64_t creations_remote = 0;
+  std::uint64_t chunk_stock_hits = 0;
+  std::uint64_t chunk_stock_misses = 0;
+  // scheduling queue
+  std::uint64_t sched_enqueues = 0;
+  std::uint64_t sched_dispatches = 0;
+  // time accounting
+  sim::Instr busy_instr = 0;   // total charged work
+  sim::Instr idle_instr = 0;   // clock jumps while waiting for packets
+
+  void merge(const NodeStats& o);
+};
+
+}  // namespace abcl::core

@@ -1,0 +1,53 @@
+// Shared scalar types of the core runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace abcl::core {
+
+using Word = net::Word;            // untyped 64-bit message/frame cell
+using NodeId = std::int32_t;
+using PatternId = std::uint16_t;   // compile-time-unique message pattern id
+using ClassId = std::uint16_t;
+
+// Result of running a method entry or continuation.
+enum class Status : std::uint8_t {
+  kDone,     // method completed; epilogue has run
+  kBlocked,  // context saved to a heap frame; object is in waiting mode
+};
+
+// Object execution modes (Section 2.1). The authoritative encoding is the
+// VFTP (which table the object points at); this enum mirrors it for stats
+// and invariant checks.
+enum class Mode : std::uint8_t {
+  kDormant,        // no messages being processed; body table installed
+  kActive,         // executing or scheduled; queuing table installed
+  kWaiting,        // blocked in selective reception / reply wait
+  kUninitialized,  // created locally, state vars not yet initialized
+  kFault,          // remote-created chunk, creation request not yet arrived
+};
+
+inline const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kDormant: return "dormant";
+    case Mode::kActive: return "active";
+    case Mode::kWaiting: return "waiting";
+    case Mode::kUninitialized: return "uninitialized";
+    case Mode::kFault: return "fault";
+  }
+  return "?";
+}
+
+inline constexpr int kMaxArgs = 12;          // max message arity
+inline constexpr std::uint16_t kPcBlocked = 0xFFFF;  // select_try sentinel
+
+class NodeRuntime;
+struct ObjectHeader;
+struct ClassInfo;
+struct Vft;
+struct MsgFrame;
+struct ReplyBox;
+
+}  // namespace abcl::core

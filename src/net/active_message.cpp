@@ -1,0 +1,11 @@
+#include "net/active_message.hpp"
+
+// The registry itself is header-only; this translation unit anchors the
+// component in the library and keeps a home for future out-of-line growth
+// (e.g. handler tracing hooks).
+
+namespace abcl::net {
+
+static_assert(sizeof(Packet) <= 256, "Packet should stay copy-cheap");
+
+}  // namespace abcl::net

@@ -1,0 +1,72 @@
+// Active-message handler registry (Section 5.1).
+//
+// Handlers are registered once per program (the "compiler output"): one
+// specialized handler per message pattern (Category 1), one per class for
+// creation requests (Category 2), one per chunk size for allocation replies
+// (Category 3), and assorted services (Category 4). A handler executes
+// immediately when the receiving node polls the packet; the node context is
+// passed opaquely so this layer stays below the core runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/assert.hpp"
+
+namespace abcl::net {
+
+enum class AmCategory : std::uint8_t {
+  kObjectMessage = 0,   // normal message transmission between objects
+  kCreateRequest = 1,   // remote object creation
+  kAllocReply = 2,      // reply to remote memory allocation (replenish)
+  kService = 3,         // load balancing, termination, GC, ...
+};
+
+inline const char* to_string(AmCategory c) {
+  switch (c) {
+    case AmCategory::kObjectMessage: return "object-message";
+    case AmCategory::kCreateRequest: return "create-request";
+    case AmCategory::kAllocReply: return "alloc-reply";
+    case AmCategory::kService: return "service";
+  }
+  return "?";
+}
+
+// node_ctx is the receiving core::NodeRuntime, passed as void* to keep the
+// dependency arrow pointing upward.
+using AmHandlerFn = void (*)(void* node_ctx, const Packet& pkt);
+
+class AmRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    AmHandlerFn fn = nullptr;
+    AmCategory category = AmCategory::kService;
+  };
+
+  HandlerId register_handler(std::string name, AmHandlerFn fn, AmCategory cat) {
+    ABCL_CHECK(fn != nullptr);
+    ABCL_CHECK_MSG(entries_.size() < 0xFFFF, "too many active-message handlers");
+    entries_.push_back(Entry{std::move(name), fn, cat});
+    return static_cast<HandlerId>(entries_.size() - 1);
+  }
+
+  const Entry& entry(HandlerId id) const {
+    ABCL_DCHECK(id < entries_.size());
+    return entries_[id];
+  }
+
+  void dispatch(HandlerId id, void* node_ctx, const Packet& pkt) const {
+    const Entry& e = entry(id);
+    e.fn(node_ctx, pkt);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace abcl::net

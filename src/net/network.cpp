@@ -1,0 +1,87 @@
+#include "net/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace abcl::net {
+
+namespace {
+constexpr std::int32_t kMatrixNodeLimit = 1024;  // 1024^2 * 8 B = 8 MiB
+}
+
+Network::Network(Topology topology, const sim::CostModel* cm,
+                 std::function<void(NodeId)> on_deliverable)
+    : topology_(topology),
+      cm_(cm),
+      on_deliverable_(std::move(on_deliverable)),
+      queues_(static_cast<std::size_t>(topology_.num_nodes())),
+      use_matrix_(topology_.num_nodes() <= kMatrixNodeLimit) {
+  ABCL_CHECK(cm_ != nullptr);
+  ABCL_CHECK_MSG(cm_->wire_latency + cm_->per_hop > 0,
+                 "network lookahead must be positive for the PDES driver");
+  if (use_matrix_) {
+    channel_matrix_.assign(
+        static_cast<std::size_t>(topology_.num_nodes()) *
+            static_cast<std::size_t>(topology_.num_nodes()),
+        0);
+  }
+}
+
+sim::Instr& Network::channel_floor(NodeId src, NodeId dst) {
+  if (use_matrix_) {
+    return channel_matrix_[static_cast<std::size_t>(src) *
+                               static_cast<std::size_t>(topology_.num_nodes()) +
+                           static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                       << 32) |
+                      static_cast<std::uint32_t>(dst);
+  return channel_map_[key];
+}
+
+void Network::send(Packet&& p, AmCategory category) {
+  ABCL_CHECK(p.dst >= 0 && p.dst < topology_.num_nodes());
+  ABCL_CHECK(p.src >= 0 && p.src < topology_.num_nodes());
+
+  std::int32_t hops = topology_.hops(p.src, p.dst);
+  sim::Instr wire = cm_->wire_latency +
+                    static_cast<sim::Instr>(hops) * cm_->per_hop +
+                    static_cast<sim::Instr>(p.wire_words()) * cm_->per_word;
+  if (wire == 0) wire = 1;  // strictly positive lookahead
+  sim::Instr arrive = p.send_time + wire;
+
+  // Enforce per-channel FIFO: a later send on the same channel never
+  // arrives before an earlier one.
+  sim::Instr& floor = channel_floor(p.src, p.dst);
+  if (arrive < floor) arrive = floor;
+  floor = arrive;
+
+  p.arrive_time = arrive;
+  p.seq = next_seq_++;
+
+  stats_.packets += 1;
+  stats_.payload_words += p.nwords;
+  stats_.wire_words += static_cast<std::uint64_t>(p.wire_words());
+  stats_.per_category[static_cast<int>(category)] += 1;
+  stats_.wire_latency_instr.add(static_cast<double>(arrive - p.send_time));
+
+  NodeId dst = p.dst;
+  queues_[static_cast<std::size_t>(dst)].push(std::move(p));
+  ++in_flight_;
+  if (on_deliverable_) on_deliverable_(dst);
+}
+
+bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
+  auto& q = queues_[static_cast<std::size_t>(dst)];
+  if (q.empty() || q.top().arrive_time > now) return false;
+  out = q.top();
+  q.pop();
+  --in_flight_;
+  return true;
+}
+
+sim::Instr Network::next_arrival(NodeId dst) const {
+  const auto& q = queues_[static_cast<std::size_t>(dst)];
+  return q.empty() ? sim::kInstrInf : q.top().arrive_time;
+}
+
+}  // namespace abcl::net

@@ -1,0 +1,92 @@
+// The simulated interconnect.
+//
+// Pricing: arrive = send_time + wire_latency + hops * per_hop +
+// wire_words * per_word, clamped so arrivals on each (src,dst) channel are
+// nondecreasing — the paper's "preservation of transmission order" between
+// a fixed sender/receiver pair. Per destination, packets are delivered in
+// (arrive_time, seq) order, so the whole simulation is deterministic.
+//
+// The sender's software setup cost and the receiver's handler cost are NOT
+// part of wire latency; the core runtime charges those to the node clocks
+// (send_setup before send(), recv_handler at poll time), mirroring the
+// paper's breakdown: ~20 sender instructions + ~1.5 us wire each way +
+// ~50 receiver instructions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "net/active_message.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/cost_model.hpp"
+#include "util/stats.hpp"
+
+namespace abcl::net {
+
+class Network {
+ public:
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t payload_words = 0;
+    std::uint64_t wire_words = 0;
+    std::uint64_t per_category[4] = {};
+    util::RunningStat wire_latency_instr;
+  };
+
+  // on_deliverable(dst) fires whenever a packet is enqueued toward dst; the
+  // machine driver uses it to re-key the node in its ready heap.
+  Network(Topology topology, const sim::CostModel* cm,
+          std::function<void(NodeId)> on_deliverable = {});
+
+  void set_on_deliverable(std::function<void(NodeId)> fn) {
+    on_deliverable_ = std::move(fn);
+  }
+
+  const Topology& topology() const { return topology_; }
+
+  // Sends `p` (src/dst/handler/payload/send_time filled by the caller,
+  // category recorded for stats). Computes arrive_time and seq.
+  void send(Packet&& p, AmCategory category);
+
+  // Pops the next packet for `dst` with arrive_time <= now, or nullptr-like
+  // false if none. Out-of-order across channels never happens because the
+  // per-destination heap orders by arrival.
+  bool poll(NodeId dst, sim::Instr now, Packet& out);
+
+  // Earliest pending arrival for `dst`, or kInstrInf.
+  sim::Instr next_arrival(NodeId dst) const;
+
+  bool idle() const { return in_flight_ == 0; }
+  std::uint64_t in_flight() const { return in_flight_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PacketOrder {
+    bool operator()(const Packet& a, const Packet& b) const {
+      return a.arrive_time != b.arrive_time ? a.arrive_time > b.arrive_time
+                                            : a.seq > b.seq;
+    }
+  };
+  using DstQueue = std::priority_queue<Packet, std::vector<Packet>, PacketOrder>;
+
+  sim::Instr& channel_floor(NodeId src, NodeId dst);
+
+  Topology topology_;
+  const sim::CostModel* cm_;
+  std::function<void(NodeId)> on_deliverable_;
+  std::vector<DstQueue> queues_;
+  // Last arrival per (src,dst) channel; flat matrix for small machines,
+  // hash map above the threshold to avoid O(N^2) memory.
+  std::vector<sim::Instr> channel_matrix_;
+  std::unordered_map<std::uint64_t, sim::Instr> channel_map_;
+  bool use_matrix_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t in_flight_ = 0;
+  Stats stats_;
+};
+
+}  // namespace abcl::net

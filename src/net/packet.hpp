@@ -1,0 +1,49 @@
+// Network packets.
+//
+// A packet is a self-dispatching active message (Section 5.1): the handler
+// id names the procedure that runs at the receiver the moment the packet is
+// polled; the payload is untyped words whose layout the (specialized,
+// per-pattern) handler knows statically — the paper's "tags are no longer
+// necessary" property.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace abcl::net {
+
+using Word = std::uint64_t;
+using HandlerId = std::uint16_t;
+using sim::Instr;
+
+inline constexpr int kMaxPacketWords = 24;
+
+struct Packet {
+  HandlerId handler = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  Instr send_time = 0;
+  Instr arrive_time = 0;
+  std::uint64_t seq = 0;  // global send order; FIFO tiebreaker
+  std::uint8_t nwords = 0;
+  Word payload[kMaxPacketWords] = {};
+
+  void push(Word w) {
+    ABCL_CHECK_MSG(nwords < kMaxPacketWords, "packet payload overflow");
+    payload[nwords++] = w;
+  }
+
+  Word at(int i) const {
+    ABCL_DCHECK(i >= 0 && i < nwords);
+    return payload[i];
+  }
+
+  // Total wire size in words: payload plus a fixed header (routing info,
+  // handler id, destination object pointer all ride in 4 header words, as in
+  // the paper's "4 words including routing information" minimal message).
+  int wire_words() const { return nwords + 4; }
+};
+
+}  // namespace abcl::net

@@ -1,0 +1,74 @@
+// Predelivered chunk stocks (Section 5.2).
+//
+// Each node keeps, per (peer node, chunk size class), a stack of addresses
+// of memory chunks that the peer has already allocated and formatted with
+// the generic fault table. A remote creation draws the new object's mail
+// address from this stock *locally*, hiding the allocation round trip; the
+// Category-3 replenish message keeps the stock at its steady depth. Only
+// when the stock is empty does the creator fall back to split-phase
+// allocation (and hence context switching).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace abcl::remote {
+
+class ChunkStock {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t pushes = 0;
+  };
+
+  // Pops a predelivered chunk on `peer` of the given size class, if any.
+  std::optional<core::ObjectHeader*> try_pop(core::NodeId peer,
+                                             std::uint16_t size_class) {
+    auto it = stocks_.find(key(peer, size_class));
+    if (it == stocks_.end() || it->second.empty()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    core::ObjectHeader* chunk = it->second.back();
+    it->second.pop_back();
+    return chunk;
+  }
+
+  void push(core::NodeId peer, std::uint16_t size_class,
+            core::ObjectHeader* chunk) {
+    ABCL_CHECK(chunk != nullptr);
+    ++stats_.pushes;
+    stocks_[key(peer, size_class)].push_back(chunk);
+  }
+
+  std::size_t depth(core::NodeId peer, std::uint16_t size_class) const {
+    auto it = stocks_.find(key(peer, size_class));
+    return it == stocks_.end() ? 0 : it->second.size();
+  }
+
+  std::size_t total_chunks() const {
+    std::size_t n = 0;
+    for (const auto& [k, v] : stocks_) n += v.size();
+    return n;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t key(core::NodeId peer, std::uint16_t size_class) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 16) |
+           size_class;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<core::ObjectHeader*>> stocks_;
+  Stats stats_;
+};
+
+}  // namespace abcl::remote

@@ -1,0 +1,48 @@
+#include "remote/placement.hpp"
+
+#include "core/node_runtime.hpp"
+
+namespace abcl::remote {
+
+core::NodeId Placement::choose(core::NodeRuntime& rt) {
+  const core::NodeId n = rt.num_nodes();
+  if (n <= 1) return rt.node_id();
+  switch (kind_) {
+    case PlacementKind::kSelf:
+      return rt.node_id();
+    case PlacementKind::kRoundRobin: {
+      // Start the cycle at self+1 so consecutive creations spread outward.
+      core::NodeId t = static_cast<core::NodeId>(
+          (static_cast<std::uint32_t>(rt.node_id()) + 1 + cursor_) %
+          static_cast<std::uint32_t>(n));
+      ++cursor_;
+      return t;
+    }
+    case PlacementKind::kRandom:
+      return static_cast<core::NodeId>(
+          rt.rng().below(static_cast<std::uint64_t>(n)));
+    case PlacementKind::kNeighbor: {
+      auto nbs = rt.network().topology().neighbors(rt.node_id());
+      if (nbs.empty()) return rt.node_id();
+      core::NodeId t = nbs[cursor_ % nbs.size()];
+      ++cursor_;
+      return t;
+    }
+    case PlacementKind::kLeastLoaded: {
+      auto nbs = rt.network().topology().neighbors(rt.node_id());
+      core::NodeId best = rt.node_id();
+      std::uint32_t best_load = rt.sched_queue_len();
+      for (core::NodeId nb : nbs) {
+        std::uint32_t load = rt.known_load(nb);
+        if (load < best_load) {
+          best = nb;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+  }
+  ABCL_UNREACHABLE();
+}
+
+}  // namespace abcl::remote

@@ -1,0 +1,44 @@
+// Placement policies for remote creation (Section 2.5).
+//
+// "In remote creation, the system determines where the object is created
+// based on local information." These policies use only node-local state:
+// a round-robin cursor, the local RNG, the torus neighbour list, or the
+// gossiped load of peers (Category-4 service).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace abcl::core {
+class NodeRuntime;
+}
+
+namespace abcl::remote {
+
+enum class PlacementKind : std::uint8_t {
+  kSelf,         // always local (degenerates remote creation to local)
+  kRoundRobin,   // cycle over all nodes
+  kRandom,       // uniform over all nodes
+  kNeighbor,     // cycle over torus neighbours (locality-preserving)
+  kLeastLoaded,  // min gossiped load among self + neighbours
+};
+
+// Per-node placement state. Deterministic given the node's RNG stream.
+class Placement {
+ public:
+  explicit Placement(PlacementKind kind = PlacementKind::kRoundRobin)
+      : kind_(kind) {}
+
+  PlacementKind kind() const { return kind_; }
+  void set_kind(PlacementKind k) { kind_ = k; }
+
+  // Chooses a target node for the next creation issued by `rt`.
+  core::NodeId choose(core::NodeRuntime& rt);
+
+ private:
+  PlacementKind kind_;
+  std::uint32_t cursor_ = 0;
+};
+
+}  // namespace abcl::remote

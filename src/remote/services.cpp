@@ -1,0 +1,4 @@
+#include "remote/services.hpp"
+
+// Header-only implementation; this TU anchors the component in the library.
+namespace abcl::remote {}

@@ -1,0 +1,31 @@
+// Category-4 services (Section 5.1): node-local bookkeeping for the
+// miscellaneous remote services — currently the load-gossip map used by the
+// least-loaded placement policy. Global GC and object migration, which the
+// paper lists as further Category-4 clients, are out of scope (the paper
+// itself defers them to future work).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/types.hpp"
+
+namespace abcl::remote {
+
+// Last load figure heard from each peer via the load-gossip service.
+class LoadMap {
+ public:
+  void note(core::NodeId peer, std::uint32_t load) { loads_[peer] = load; }
+
+  std::uint32_t get(core::NodeId peer) const {
+    auto it = loads_.find(peer);
+    return it == loads_.end() ? 0 : it->second;
+  }
+
+  std::size_t known_peers() const { return loads_.size(); }
+
+ private:
+  std::unordered_map<core::NodeId, std::uint32_t> loads_;
+};
+
+}  // namespace abcl::remote

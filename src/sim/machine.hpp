@@ -1,0 +1,91 @@
+// Conservative discrete-event driver for the simulated multicomputer.
+//
+// Each node is a single-threaded processor with its own instruction clock.
+// The driver always executes the runnable node with the globally smallest
+// clock (ties broken by node id), which is safe because every packet has
+// strictly positive latency (lookahead): no node with a larger clock can
+// retroactively deliver work into the past of the node being run. Idle
+// nodes' clocks jump forward to their next packet arrival. The run ends at
+// quiescence: no node runnable and no packet in flight.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace abcl::sim {
+
+using NodeId = std::int32_t;
+
+// Implemented by core::NodeRuntime. One step() executes one scheduling
+// quantum (drain arrived packets, then run one scheduling-queue item or one
+// freshly delivered message cascade) and advances the node's clock.
+class NodeExec {
+ public:
+  virtual ~NodeExec() = default;
+
+  virtual NodeId node_id() const = 0;
+  virtual Instr clock() const = 0;
+
+  // True if the node has local work it could run right now (scheduling
+  // queue nonempty or packets already arrived at or before clock()).
+  virtual bool runnable() const = 0;
+
+  // Earliest future instant at which the node becomes runnable because of a
+  // pending packet, or kInstrInf if none is in flight toward it.
+  virtual Instr next_wake() const = 0;
+
+  // Advance the local clock to `t` (only ever forward).
+  virtual void advance_clock(Instr t) = 0;
+
+  // Run one quantum. Precondition: runnable().
+  virtual void step() = 0;
+};
+
+class Machine {
+ public:
+  struct RunReport {
+    Instr end_time = 0;        // max node clock at quiescence
+    std::uint64_t quanta = 0;  // total step() invocations
+  };
+
+  explicit Machine(std::vector<NodeExec*> nodes);
+
+  // Must be called (e.g. by the network) whenever new work is scheduled for
+  // `dst` — a packet enqueued or a cross-layer wakeup — so the driver can
+  // re-evaluate the node's position in the ready heap.
+  void notify_work(NodeId dst);
+
+  // Runs until quiescence (or until `max_time` if given). Returns a report.
+  RunReport run(Instr max_time = kInstrInf);
+
+  // Single-step variant for tests: runs at most `max_quanta` quanta.
+  RunReport run_quanta(std::uint64_t max_quanta);
+
+  NodeExec* node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct HeapEntry {
+    Instr key;
+    NodeId node;
+    bool operator>(const HeapEntry& o) const {
+      return key != o.key ? key > o.key : node > o.node;
+    }
+  };
+
+  Instr effective_key(NodeExec& n) const;
+  void push_node(NodeId id);
+  RunReport run_impl(Instr max_time, std::uint64_t max_quanta);
+
+  std::vector<NodeExec*> nodes_;
+  // best key currently present in the heap per node; kInstrInf = absent.
+  std::vector<Instr> heap_key_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
+      heap_;
+  std::uint64_t quanta_ = 0;
+};
+
+}  // namespace abcl::sim

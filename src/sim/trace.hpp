@@ -1,0 +1,86 @@
+// Bounded execution tracing.
+//
+// A Tracer records timestamped per-node events into a fixed-capacity ring
+// (oldest events overwritten), cheap enough to leave attached during full
+// runs: one branch when disabled, one store when enabled. The World exposes
+// attach/snapshot helpers; `trace_demo` renders a text timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/time.hpp"
+
+namespace abcl::sim {
+
+enum class TraceEv : std::uint8_t {
+  kQuantum = 0,  // a scheduling quantum began
+  kSendRemote,   // packet handed to the network
+  kRecvRemote,   // packet polled and dispatched
+  kBlock,        // a method blocked (context spilled)
+  kResume,       // a blocked context resumed
+  kCreate,       // an object was created on this node
+};
+
+inline const char* to_string(TraceEv e) {
+  switch (e) {
+    case TraceEv::kQuantum: return "quantum";
+    case TraceEv::kSendRemote: return "send";
+    case TraceEv::kRecvRemote: return "recv";
+    case TraceEv::kBlock: return "block";
+    case TraceEv::kResume: return "resume";
+    case TraceEv::kCreate: return "create";
+  }
+  return "?";
+}
+
+class Tracer {
+ public:
+  struct Event {
+    Instr t = 0;
+    NodeId node = -1;
+    TraceEv kind = TraceEv::kQuantum;
+  };
+
+  explicit Tracer(std::size_t capacity = 1u << 16) : ring_(capacity) {}
+
+  void record(Instr t, NodeId node, TraceEv kind) {
+    Event& e = ring_[head_];
+    e.t = t;
+    e.node = node;
+    e.kind = kind;
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size()) ++count_;
+    ++total_;
+  }
+
+  std::size_t size() const { return count_; }
+  std::uint64_t total_recorded() const { return total_; }
+
+  // Events in chronological record order (oldest first).
+  std::vector<Event> snapshot() const {
+    std::vector<Event> out;
+    out.reserve(count_);
+    std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace abcl::sim

@@ -1,0 +1,68 @@
+#include "util/arena.hpp"
+
+#include <cstring>
+
+namespace abcl::util {
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  ABCL_CHECK(block_bytes_ >= 4096);
+}
+
+void Arena::new_block(std::size_t at_least) {
+  std::size_t sz = block_bytes_;
+  while (sz < at_least) sz *= 2;
+  blocks_.push_back(std::make_unique<std::byte[]>(sz));
+  cur_ = blocks_.back().get();
+  end_ = cur_ + sz;
+  bytes_reserved_ += sz;
+  // Grow geometrically so idle nodes stay cheap but busy ones amortize.
+  if (block_bytes_ < max_block_bytes_) block_bytes_ *= 2;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  ABCL_DCHECK(align != 0 && (align & (align - 1)) == 0 && align <= 64);
+  if (bytes == 0) bytes = 1;
+  auto ip = reinterpret_cast<std::uintptr_t>(cur_);
+  std::uintptr_t aligned = (ip + (align - 1)) & ~std::uintptr_t(align - 1);
+  std::size_t need = bytes + static_cast<std::size_t>(aligned - ip);
+  if (cur_ == nullptr || static_cast<std::size_t>(end_ - cur_) < need) {
+    new_block(bytes + align);
+    ip = reinterpret_cast<std::uintptr_t>(cur_);
+    aligned = (ip + (align - 1)) & ~std::uintptr_t(align - 1);
+  }
+  cur_ = reinterpret_cast<std::byte*>(aligned) + bytes;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+std::size_t PoolAllocator::size_class(std::size_t bytes) {
+  std::size_t cls = 0;
+  std::size_t cap = std::size_t{1} << kMinClassLog2;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++cls;
+  }
+  ABCL_CHECK_MSG(cls < kNumClasses, "allocation exceeds pool size-class range");
+  return cls;
+}
+
+void* PoolAllocator::allocate(std::size_t bytes) {
+  std::size_t cls = size_class(bytes);
+  ++allocs_;
+  if (FreeNode* n = free_[cls]) {
+    free_[cls] = n->next;
+    return n;
+  }
+  return arena_->allocate(class_bytes(cls), alignof(std::max_align_t));
+}
+
+void PoolAllocator::deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  std::size_t cls = size_class(bytes);
+  ++frees_;
+  auto* n = static_cast<FreeNode*>(p);
+  n->next = free_[cls];
+  free_[cls] = n;
+}
+
+}  // namespace abcl::util

@@ -1,0 +1,85 @@
+// Per-node bump arena and size-classed freelist pool.
+//
+// Every simulated node owns one Arena (its "local heap") and carves objects,
+// heap frames, reply boxes and chunk memory out of it. Frames and boxes
+// recycle through size-classed freelists, matching the constant-time
+// allocation the paper's cost model assumes for the active-mode path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace abcl::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 1u << 20);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Bump-allocates `bytes` aligned to `align` (power of two, <= 64).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  template <class T, class... Args>
+  T* make(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  void new_block(std::size_t at_least);
+
+  std::size_t block_bytes_;      // next block size; grows geometrically
+  std::size_t max_block_bytes_ = 8u << 20;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::byte* cur_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+// Size-classed freelist on top of an Arena. Size classes are powers of two
+// from kMinClass bytes up; freed blocks are recycled exactly by class, so a
+// pointer handed out twice is a bug the chunk-stock tests can catch.
+class PoolAllocator {
+ public:
+  static constexpr std::size_t kMinClassLog2 = 5;   // 32 B
+  static constexpr std::size_t kMaxClassLog2 = 16;  // 64 KiB
+  static constexpr std::size_t kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  explicit PoolAllocator(Arena& arena) : arena_(&arena) {}
+
+  PoolAllocator(const PoolAllocator&) = delete;
+  PoolAllocator& operator=(const PoolAllocator&) = delete;
+
+  static std::size_t size_class(std::size_t bytes);
+  static std::size_t class_bytes(std::size_t cls) {
+    return std::size_t{1} << (cls + kMinClassLog2);
+  }
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes);
+
+  std::uint64_t live_count() const { return allocs_ - frees_; }
+  std::uint64_t alloc_count() const { return allocs_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  Arena* arena_;
+  FreeNode* free_[kNumClasses] = {};
+  std::uint64_t allocs_ = 0;
+  std::uint64_t frees_ = 0;
+};
+
+}  // namespace abcl::util

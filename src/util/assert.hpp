@@ -1,0 +1,39 @@
+// Always-on checked assertions for the abclsim runtime.
+//
+// ABCL_CHECK is kept in release builds: the runtime's scheduling invariants
+// (mode/VFTP agreement, single sched-queue membership, chunk single-issue)
+// are cheap to test and catastrophic to violate silently.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace abcl::util {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "abclsim: check failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace abcl::util
+
+#define ABCL_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) ::abcl::util::check_fail(#cond, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ABCL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) ::abcl::util::check_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#if defined(NDEBUG)
+#define ABCL_DCHECK(cond) ((void)0)
+#else
+#define ABCL_DCHECK(cond) ABCL_CHECK(cond)
+#endif
+
+#define ABCL_UNREACHABLE() \
+  ::abcl::util::check_fail("unreachable", __FILE__, __LINE__, nullptr)

@@ -1,0 +1,57 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+
+namespace abcl::util {
+
+void RunningStat::merge(const RunningStat& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  std::uint64_t n = n_ + o.n_;
+  double d = o.mean_ - mean_;
+  double mean = mean_ + d * static_cast<double>(o.n_) / static_cast<double>(n);
+  m2_ = m2_ + o.m2_ +
+        d * d * static_cast<double>(n_) * static_cast<double>(o.n_) /
+            static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  if (o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  sum_ += o.sum_;
+}
+
+std::uint64_t Log2Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return i == 0 ? 0 : (1ull << i) - 1;
+  }
+  return ~0ull;
+}
+
+std::string Log2Histogram::to_string(int max_rows) const {
+  std::string out;
+  char line[128];
+  int printed = 0;
+  for (int i = 0; i < kBuckets && printed < max_rows; ++i) {
+    if (buckets_[i] == 0) continue;
+    std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+    std::uint64_t hi = (1ull << i) - 1;
+    std::snprintf(line, sizeof line, "  [%12llu, %12llu] %10llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+    ++printed;
+  }
+  return out;
+}
+
+}  // namespace abcl::util

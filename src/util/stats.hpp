@@ -1,0 +1,74 @@
+// Lightweight counters, online mean/variance, and log2 histograms used by
+// the runtime's per-node statistics blocks and by the benchmark harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abcl::util {
+
+// Welford online accumulator; numerically stable, O(1) per sample.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStat& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Power-of-two bucketed histogram for latency-style distributions.
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t v) {
+    int b = v == 0 ? 0 : 64 - countl_zero(v);
+    if (b >= kBuckets) b = kBuckets - 1;
+    ++buckets_[b];
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t bucket(int i) const { return buckets_[i]; }
+  std::uint64_t percentile(double p) const;  // approximate (bucket upper bound)
+  std::string to_string(int max_rows = 12) const;
+
+  void merge(const Log2Histogram& o) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+  }
+
+ private:
+  static int countl_zero(std::uint64_t v) {
+    return v == 0 ? 64 : __builtin_clzll(v);
+  }
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace abcl::util

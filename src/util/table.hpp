@@ -1,0 +1,29 @@
+// Console table printer used by the bench harnesses to emit paper-style
+// tables (Tables 1-4) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace abcl::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abcl::util

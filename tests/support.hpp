@@ -1,0 +1,249 @@
+// Shared test support: instrumented classes that log their execution into a
+// per-process event log, letting tests assert the *order* in which the
+// scheduler ran things (Figure 1's scenarios).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abcl/abcl.hpp"
+
+namespace abcl::testsup {
+
+inline std::vector<std::string>& event_log() {
+  static std::vector<std::string> log;
+  return log;
+}
+
+inline void log_event(const std::string& s) { event_log().push_back(s); }
+
+inline void clear_log() { event_log().clear(); }
+
+// ---------------------------------------------------------------------------
+// Echo: "echo.run" [peer_node, peer_ptr, k] — logs run/end around forwarding
+// run(k-1) to the peer. Reproduces the paper's Figure-1 interleavings.
+// Creation arg: [tag].
+// ---------------------------------------------------------------------------
+struct EchoState {
+  std::int64_t tag = 0;
+  void on_create(const Msg& m) {
+    tag = m.nargs >= 1 ? m.i64(0) : -1;
+    log_event("ctor" + std::to_string(tag));
+  }
+};
+
+struct EchoRunFrame : Frame {
+  MailAddr peer;
+  std::int64_t k = 0;
+  PatternId pat = 0;
+  static void init(EchoRunFrame& f, const Msg& m) {
+    f.peer = m.addr(0);
+    f.k = m.i64(2);
+    f.pat = m.pattern;
+  }
+  static Status run(Ctx& ctx, EchoState& self, EchoRunFrame& f) {
+    log_event("run" + std::to_string(self.tag) + "." + std::to_string(f.k));
+    if (f.k > 0 && !f.peer.is_nil()) {
+      MailAddr me = ctx.self_addr();
+      Word args[3] = {me.word_node(), me.word_ptr(), static_cast<Word>(f.k - 1)};
+      ctx.send_past(f.peer, f.pat, args, 3);
+    }
+    log_event("end" + std::to_string(self.tag) + "." + std::to_string(f.k));
+    return Status::kDone;
+  }
+};
+
+struct EchoProgram {
+  PatternId run = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+inline EchoProgram register_echo(core::Program& prog) {
+  EchoProgram ep;
+  ep.run = prog.patterns().intern("echo.run", 3);
+  ClassDef<EchoState> def(prog, "Echo");
+  def.method<EchoRunFrame>(ep.run);
+  ep.cls = &def.info();
+  return ep;
+}
+
+// ---------------------------------------------------------------------------
+// Delay: holds a now-type request's reply destination until kicked.
+//   "delay.ask"  [] (now-type)  — stores the reply destination
+//   "delay.kick" [v]            — replies v to the stored destination
+//   "delay.pass" [v, node, ptr] — forwards the stored reply destination to
+//                                 another Delay object (delegation test)
+// ---------------------------------------------------------------------------
+struct DelayState {
+  ReplyDest held;
+  std::int64_t asks = 0;
+};
+
+struct DelayAskFrame : Frame {
+  ReplyDest rd;
+  static void init(DelayAskFrame& f, const Msg& m) { f.rd = m.reply; }
+  static Status run(Ctx&, DelayState& self, DelayAskFrame& f) {
+    self.held = f.rd;
+    self.asks += 1;
+    return Status::kDone;
+  }
+};
+
+struct DelayKickFrame : Frame {
+  std::int64_t v = 0;
+  static void init(DelayKickFrame& f, const Msg& m) { f.v = m.i64(0); }
+  static Status run(Ctx& ctx, DelayState& self, DelayKickFrame& f) {
+    Word w = static_cast<Word>(f.v);
+    ctx.reply(self.held, &w, 1);
+    self.held = core::kNilReply;
+    return Status::kDone;
+  }
+};
+
+// Forwards the held reply destination to another Delay as its "held": the
+// receiver's kick will then resume the original asker.
+struct DelayPassFrame : Frame {
+  MailAddr to;
+  PatternId adopt_pat = 0;
+  static void init(DelayPassFrame& f, const Msg& m) {
+    f.to = m.addr(0);
+    f.adopt_pat = static_cast<PatternId>(m.at(2));
+  }
+  static Status run(Ctx& ctx, DelayState& self, DelayPassFrame& f) {
+    Word args[2] = {self.held.word_node(), self.held.word_box()};
+    ctx.send_past(f.to, f.adopt_pat, args, 2);
+    self.held = core::kNilReply;
+    return Status::kDone;
+  }
+};
+
+struct DelayAdoptFrame : Frame {
+  ReplyDest rd;
+  static void init(DelayAdoptFrame& f, const Msg& m) {
+    f.rd = ReplyDest::from_words(m.at(0), m.at(1));
+  }
+  static Status run(Ctx&, DelayState& self, DelayAdoptFrame& f) {
+    self.held = f.rd;
+    return Status::kDone;
+  }
+};
+
+struct DelayProgram {
+  PatternId ask = 0, kick = 0, pass = 0, adopt = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+inline DelayProgram register_delay(core::Program& prog) {
+  DelayProgram dp;
+  dp.ask = prog.patterns().intern("delay.ask", 0);
+  dp.kick = prog.patterns().intern("delay.kick", 1);
+  dp.pass = prog.patterns().intern("delay.pass", 3);
+  dp.adopt = prog.patterns().intern("delay.adopt", 2);
+  ClassDef<DelayState> def(prog, "Delay");
+  def.method<DelayAskFrame>(dp.ask);
+  def.method<DelayKickFrame>(dp.kick);
+  def.method<DelayPassFrame>(dp.pass);
+  def.method<DelayAdoptFrame>(dp.adopt);
+  dp.cls = &def.info();
+  return dp;
+}
+
+// ---------------------------------------------------------------------------
+// Asker: performs a now-type call and records the reply.
+//   "asker.go" [target_node, target_ptr, ask_pattern] — send_now + await
+// State readable by the host after quiescence.
+// ---------------------------------------------------------------------------
+struct AskerState {
+  std::int64_t got = -1;
+  bool completed = false;
+};
+
+struct AskerGoFrame : Frame {
+  MailAddr target;
+  PatternId ask_pat = 0;
+  NowCall call;
+  static void init(AskerGoFrame& f, const Msg& m) {
+    f.target = m.addr(0);
+    f.ask_pat = static_cast<PatternId>(m.at(2));
+  }
+  static Status run(Ctx& ctx, AskerState& self, AskerGoFrame& f) {
+    ABCL_BEGIN(f);
+    f.call = ctx.send_now(f.target, f.ask_pat, nullptr, 0);
+    ABCL_AWAIT(ctx, f, 1, f.call);
+    self.got = static_cast<std::int64_t>(ctx.take_reply(f.call));
+    self.completed = true;
+    log_event("asker-done");
+    ABCL_END();
+  }
+};
+
+struct AskerProgram {
+  PatternId go = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+inline AskerProgram register_asker(core::Program& prog) {
+  AskerProgram ap;
+  ap.go = prog.patterns().intern("asker.go", 3);
+  ClassDef<AskerState> def(prog, "Asker");
+  def.method<AskerGoFrame>(ap.go);
+  ap.cls = &def.info();
+  return ap;
+}
+
+// ---------------------------------------------------------------------------
+// Spawner: remote-creates counters on demand.
+//   "sp.make" [target_node, count_of_incs] — remote-create a Counter on the
+//   target node (awaiting the chunk if the stock is empty), then send it
+//   `incs` ctr.inc messages. The created address is recorded in state.
+// ---------------------------------------------------------------------------
+struct SpawnerState {
+  MailAddr last_created;
+  std::int64_t makes = 0;
+};
+
+struct SpawnerMakeFrame : Frame {
+  NodeId target = 0;
+  std::int64_t incs = 0;
+  PatternId inc_pat = 0;
+  const core::ClassInfo* counter_cls = nullptr;
+  CreateCall cc;
+  static void init(SpawnerMakeFrame& f, const Msg& m) {
+    f.target = static_cast<NodeId>(m.i64(0));
+    f.incs = m.i64(1);
+    f.inc_pat = static_cast<PatternId>(m.at(2));
+    f.counter_cls =
+        reinterpret_cast<const core::ClassInfo*>(static_cast<std::uintptr_t>(m.at(3)));
+  }
+  static Status run(Ctx& ctx, SpawnerState& self, SpawnerMakeFrame& f) {
+    ABCL_BEGIN(f);
+    f.cc = ctx.remote_create_begin(*f.counter_cls, f.target, nullptr, 0);
+    ABCL_AWAIT(ctx, f, 1, f.cc.call);
+    self.last_created = ctx.remote_create_finish(f.cc);
+    self.makes += 1;
+    for (std::int64_t i = 0; i < f.incs; ++i) {
+      ctx.send_past(self.last_created, f.inc_pat, nullptr, 0);
+    }
+    ABCL_END();
+  }
+};
+
+struct SpawnerProgram {
+  PatternId make = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+inline SpawnerProgram register_spawner(core::Program& prog) {
+  SpawnerProgram sp;
+  sp.make = prog.patterns().intern("sp.make", 4);
+  ClassDef<SpawnerState> def(prog, "Spawner");
+  def.method<SpawnerMakeFrame>(sp.make);
+  sp.cls = &def.info();
+  return sp;
+}
+
+inline Word cls_word(const core::ClassInfo* cls) {
+  return static_cast<Word>(reinterpret_cast<std::uintptr_t>(cls));
+}
+
+}  // namespace abcl::testsup

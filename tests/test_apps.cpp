@@ -1,0 +1,169 @@
+// App-level tests: fork-join Fibonacci, ping-pong latency, the completion
+// latch, and the inlined-send guard (Section 8.2).
+#include <gtest/gtest.h>
+
+#include "apps/counters.hpp"
+#include "apps/fib.hpp"
+#include "apps/pingpong.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace abcl;
+
+// ------------------------------------------------------------------ Fib ----
+
+class FibValues : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FibValues, CorrectOnAnyWorld) {
+  auto [n, nodes] = GetParam();
+  static constexpr std::int64_t kFib[] = {0, 1, 1, 2, 3, 5, 8, 13, 21, 34,
+                                          55, 89, 144, 233, 377, 610};
+  core::Program prog;
+  auto fp = apps::register_fib(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  World world(prog, cfg);
+  auto r = apps::run_fib(world, fp, n);
+  EXPECT_EQ(r.value, kFib[n]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FibValues,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 7, 12, 15),
+                                            ::testing::Values(1, 2, 8)));
+
+TEST(Fib, RetiredCallNodesAreReclaimed) {
+  core::Program prog;
+  auto fp = apps::register_fib(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  apps::run_fib(world, fp, 14);
+  // Every Fib object retires after replying; only pool chunks remain.
+  EXPECT_EQ(world.total_live_objects(), 0u);
+  EXPECT_GT(world.total_created_objects(), 500u);
+}
+
+// ------------------------------------------------------------- PingPong ----
+
+TEST(PingPong, IntraNodeLatencyMatchesDormantCost) {
+  core::Program prog;
+  auto pp = apps::register_pingpong(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  auto r = apps::run_pingpong(world, pp, 0, 0, 1000);
+  // Table 1: intra-node past-type to a dormant object = 2.3 us region.
+  // (The bouncing object pair alternates dormant/active: k messages to a
+  //  dormant receiver run inline; the measured mean stays in the band.)
+  EXPECT_GT(r.us_per_message, 0.5);
+  EXPECT_LT(r.us_per_message, 12.0);
+}
+
+TEST(PingPong, InterNodeLatencyInPaperBand) {
+  core::Program prog;
+  auto pp = apps::register_pingpong(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(prog, cfg);
+  auto r = apps::run_pingpong(world, pp, 0, 1, 2000);
+  // Table 1: minimum inter-node latency 8.9 us; we assert the same order of
+  // magnitude (5..15 us) — calibration details are reported by the bench.
+  EXPECT_GT(r.us_per_message, 4.0);
+  EXPECT_LT(r.us_per_message, 16.0);
+}
+
+TEST(PingPong, LatencyGrowsWithDistance) {
+  core::Program prog;
+  auto pp = apps::register_pingpong(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 64;  // 8x8 torus
+  cfg.topology = net::TopologyKind::kMesh2D;
+  World world1(prog, cfg);
+  auto near = apps::run_pingpong(world1, pp, 0, 1, 500);
+  World world2(prog, cfg);
+  auto far = apps::run_pingpong(world2, pp, 0, 63, 500);
+  EXPECT_GT(far.us_per_message, near.us_per_message);
+}
+
+// ---------------------------------------------------------------- Latch ----
+
+TEST(Latch, AccumulatesAndCompletes) {
+  core::Program prog;
+  auto lp = register_completion_latch(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  MailAddr l;
+  world.boot(0, [&](Ctx& ctx) {
+    l = ctx.create_local(*lp.cls, nullptr, 0);
+    ctx.send_past(l, lp.expect, {3});
+    ctx.send_past(l, lp.done, {10});
+    ctx.send_past(l, lp.done, {20});
+    EXPECT_FALSE(latch_state(l).done());
+    ctx.send_past(l, lp.done, {12});
+    EXPECT_TRUE(latch_state(l).done());
+  });
+  world.run();
+  EXPECT_EQ(latch_state(l).total, 42);
+}
+
+TEST(Latch, PendingGetIsAnsweredOnCompletion) {
+  core::Program prog;
+  auto lp = register_completion_latch(prog);
+  auto ap = testsup::register_asker(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  MailAddr l, a;
+  world.boot(0, [&](Ctx& ctx) {
+    l = ctx.create_local(*lp.cls, nullptr, 0);
+    ctx.send_past(l, lp.expect, {1});
+    a = ctx.create_local(*ap.cls, nullptr, 0);
+    Word args[3] = {l.word_node(), l.word_ptr(), lp.get};
+    ctx.send_past(a, ap.go, args, 3);
+    EXPECT_FALSE(a.ptr->state_as<testsup::AskerState>()->completed);
+    ctx.send_past(l, lp.done, {5});
+    EXPECT_TRUE(a.ptr->state_as<testsup::AskerState>()->completed);
+    EXPECT_EQ(a.ptr->state_as<testsup::AskerState>()->got, 5);
+  });
+  world.run();
+}
+
+// --------------------------------------------------- Inlined sends (8.2) ----
+
+TEST(InlineGuard, HitsOnlyLocalDormantReceiversOfTheClass) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  auto dp = testsup::register_delay(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(prog, cfg);
+  MailAddr remote_c;
+  world.boot(1, [&](Ctx& ctx) {
+    remote_c = ctx.create_local(*cp.cls, nullptr, 0);
+    ctx.send_past(remote_c, cp.inc, nullptr, 0);  // initialize
+  });
+  world.run();
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*cp.cls, nullptr, 0);
+    ctx.send_past(c, cp.inc, nullptr, 0);  // initialize -> dormant table
+    EXPECT_TRUE(ctx.inline_guard(c, *cp.cls));        // local + dormant
+    EXPECT_FALSE(ctx.inline_guard(remote_c, *cp.cls));  // remote
+    MailAddr d = ctx.create_local(*dp.cls, nullptr, 0);
+    EXPECT_FALSE(ctx.inline_guard(d, *cp.cls));  // wrong class (lazy table)
+    // Uninitialized counter: lazy table, guard must miss.
+    MailAddr fresh = ctx.create_local(*cp.cls, nullptr, 0);
+    EXPECT_FALSE(ctx.inline_guard(fresh, *cp.cls));
+  });
+}
+
+}  // namespace

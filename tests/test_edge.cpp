@@ -1,0 +1,281 @@
+// Edge cases and limits: maximum arity, packet bounds, large worlds, odd
+// state types, empty programs, world stepping controls.
+#include <gtest/gtest.h>
+
+#include "apps/counters.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace abcl;
+using namespace abcl::testsup;
+
+// --------------------------------------------------------- max-arity -------
+
+struct WideState {
+  Word sum = 0;
+  Word first = 0, last = 0;
+};
+
+struct WideFrame : Frame {
+  Word a[core::kMaxArgs];
+  std::uint8_t n = 0;
+  static void init(WideFrame& f, const Msg& m) {
+    f.n = m.nargs;
+    for (int i = 0; i < m.nargs; ++i) f.a[i] = m.at(i);
+  }
+  static Status run(Ctx&, WideState& self, WideFrame& f) {
+    for (int i = 0; i < f.n; ++i) self.sum += f.a[i];
+    self.first = f.a[0];
+    self.last = f.a[f.n - 1];
+    return Status::kDone;
+  }
+};
+
+TEST(Edge, MaxArityMessageLocalAndRemote) {
+  core::Program prog;
+  PatternId wide = prog.patterns().intern("wide.msg", core::kMaxArgs);
+  ClassDef<WideState> def(prog, "Wide");
+  def.method<WideFrame>(wide);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(prog, cfg);
+  MailAddr local, remote;
+  Word args[core::kMaxArgs];
+  for (int i = 0; i < core::kMaxArgs; ++i) args[i] = static_cast<Word>(i + 1);
+  world.boot(1, [&](Ctx& ctx) { remote = ctx.create_local(def.info(), nullptr, 0); });
+  world.boot(0, [&](Ctx& ctx) {
+    local = ctx.create_local(def.info(), nullptr, 0);
+    ctx.send_past(local, wide, args, core::kMaxArgs);
+    ctx.send_past(remote, wide, args, core::kMaxArgs);
+  });
+  world.run();
+  const Word expect = core::kMaxArgs * (core::kMaxArgs + 1) / 2;
+  EXPECT_EQ(local.ptr->state_as<WideState>()->sum, expect);
+  EXPECT_EQ(remote.ptr->state_as<WideState>()->sum, expect);
+  EXPECT_EQ(remote.ptr->state_as<WideState>()->last, core::kMaxArgs);
+}
+
+// ---------------------------------------------------- non-trivial state ----
+
+struct FancyState {
+  std::vector<std::int64_t> log;  // non-trivially-copyable state is fine
+  std::string name = "unset";
+
+  void on_create(const Msg& m) {
+    name = "fancy";
+    if (m.nargs > 0) log.push_back(m.i64(0));
+  }
+};
+
+struct FancyNoteFrame : Frame {
+  std::int64_t v = 0;
+  static void init(FancyNoteFrame& f, const Msg& m) { f.v = m.i64(0); }
+  static Status run(Ctx&, FancyState& self, FancyNoteFrame& f) {
+    self.log.push_back(f.v);
+    return Status::kDone;
+  }
+};
+
+TEST(Edge, NonTriviallyCopyableStateIsConstructedAndDestroyed) {
+  core::Program prog;
+  PatternId note = prog.patterns().intern("fancy.note", 1);
+  ClassDef<FancyState> def(prog, "Fancy");
+  def.method<FancyNoteFrame>(note);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  MailAddr f;
+  world.boot(0, [&](Ctx& ctx) {
+    Word seed = 100;
+    f = ctx.create_local(def.info(), &seed, 1);
+    for (Word v = 1; v <= 3; ++v) ctx.send_past(f, note, &v, 1);
+  });
+  world.run();
+  const auto& st = *f.ptr->state_as<FancyState>();
+  EXPECT_EQ(st.name, "fancy");
+  ASSERT_EQ(st.log.size(), 4u);
+  EXPECT_EQ(st.log[0], 100);
+  EXPECT_EQ(st.log[3], 3);
+  // Destruction runs at world teardown (ASan/valgrind would flag leaks).
+}
+
+// --------------------------------------------------------- big worlds ------
+
+TEST(Edge, LargeWorldBootsAndRuns) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1024;
+  World world(prog, cfg);
+  MailAddr far;
+  world.boot(1023, [&](Ctx& ctx) { far = ctx.create_local(*cp.cls, nullptr, 0); });
+  world.boot(0, [&](Ctx& ctx) { ctx.send_past(far, cp.inc, nullptr, 0); });
+  world.run();
+  EXPECT_EQ(apps::counter_state(far).count, 1);
+  EXPECT_EQ(world.network().topology().dim_x(), 32);
+  EXPECT_EQ(world.network().topology().dim_y(), 32);
+}
+
+TEST(Edge, EveryNodeTalksToEveryOther) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 12;
+  World world(prog, cfg);
+  std::vector<MailAddr> counters(12);
+  for (NodeId nid = 0; nid < 12; ++nid) {
+    world.boot(nid, [&](Ctx& ctx) {
+      counters[static_cast<std::size_t>(nid)] =
+          ctx.create_local(*cp.cls, nullptr, 0);
+    });
+  }
+  for (NodeId src = 0; src < 12; ++src) {
+    world.boot(src, [&](Ctx& ctx) {
+      for (NodeId dst = 0; dst < 12; ++dst) {
+        ctx.send_past(counters[static_cast<std::size_t>(dst)], cp.inc, nullptr,
+                      0);
+      }
+    });
+  }
+  world.run();
+  for (const MailAddr& c : counters) {
+    EXPECT_EQ(apps::counter_state(c).count, 12);
+  }
+}
+
+// ---------------------------------------------------- stepping controls ----
+
+TEST(Edge, MaxTimeBoundsTheRun) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(prog, cfg);
+  MailAddr c;
+  world.boot(1, [&](Ctx& ctx) { c = ctx.create_local(*cp.cls, nullptr, 0); });
+  world.boot(0, [&](Ctx& ctx) {
+    Word args[2] = {1000, cp.inc};
+    ctx.send_past(c, cp.fill, args, 2);  // remote: queues work on node 1
+  });
+  // max_time bounds when quanta may *start*; work scheduled later stays
+  // deferred until a later run() call.
+  RunReport first = world.run(/*max_time=*/200);
+  RunReport rest = world.run();
+  EXPECT_EQ(apps::counter_state(c).count, 1000);
+  EXPECT_GT(rest.quanta, 500u);
+  EXPECT_GT(rest.sim_time, first.sim_time);
+}
+
+TEST(Edge, EmptyWorldRunsToImmediateQuiescence) {
+  core::Program prog;
+  apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(prog, cfg);
+  RunReport rep = world.run();
+  EXPECT_EQ(rep.quanta, 0u);
+  EXPECT_EQ(rep.sim_time, 0u);
+}
+
+TEST(Edge, RunIsIdempotentAtQuiescence) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(prog, cfg);
+  MailAddr c;
+  world.boot(1, [&](Ctx& ctx) { c = ctx.create_local(*cp.cls, nullptr, 0); });
+  world.boot(0, [&](Ctx& ctx) { ctx.send_past(c, cp.inc, nullptr, 0); });
+  world.run();
+  RunReport again = world.run();
+  EXPECT_EQ(again.quanta, 0u);
+  EXPECT_EQ(apps::counter_state(c).count, 1);
+}
+
+// -------------------------------------------------------- misc limits ------
+
+TEST(Edge, PacketPayloadGuardsOverflow) {
+  net::Packet p;
+  for (int i = 0; i < net::kMaxPacketWords; ++i) p.push(1);
+  EXPECT_EQ(p.nwords, net::kMaxPacketWords);
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(p.push(1), "payload overflow");
+}
+
+TEST(Edge, MailAddrWordRoundTrip) {
+  auto* fake = reinterpret_cast<core::ObjectHeader*>(0xDEADBEEF0ull);
+  core::MailAddr a{37, fake};
+  core::MailAddr b = core::MailAddr::from_words(a.word_node(), a.word_ptr());
+  EXPECT_EQ(a, b);
+  core::ReplyDest rd{512, reinterpret_cast<core::ReplyBox*>(0x1234560ull)};
+  core::ReplyDest rd2 = core::ReplyDest::from_words(rd.word_node(), rd.word_box());
+  EXPECT_EQ(rd2.node, 512);
+  EXPECT_EQ(rd2.box, rd.box);
+}
+
+TEST(Edge, ArgPackEncodesTypedArguments) {
+  core::MailAddr ma{3, reinterpret_cast<core::ObjectHeader*>(0x1000ull)};
+  core::ReplyDest rd{7, reinterpret_cast<core::ReplyBox*>(0x2000ull)};
+  enum class Color : std::uint8_t { kRed = 2 };
+  ArgPack p = args(std::int64_t{-5}, ma, rd, Color::kRed);
+  ASSERT_EQ(p.size(), 6);  // 1 + 2 + 2 + 1 words
+  EXPECT_EQ(static_cast<std::int64_t>(p.data()[0]), -5);
+  EXPECT_EQ(core::MailAddr::from_words(p.data()[1], p.data()[2]), ma);
+  EXPECT_EQ(core::ReplyDest::from_words(p.data()[3], p.data()[4]).box, rd.box);
+  EXPECT_EQ(p.data()[5], 2u);
+}
+
+TEST(Edge, ArgPackDrivesSends) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  MailAddr c;
+  world.boot(0, [&](Ctx& ctx) {
+    c = ctx.create_local(*cp.cls, args(std::int64_t{40}));
+    ctx.send_past(c, cp.add, args(std::int64_t{2}));
+  });
+  world.run();
+  EXPECT_EQ(apps::counter_state(c).count, 42);
+}
+
+TEST(EdgeDeath, ArgPackOverflowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ArgPack p;
+  for (int i = 0; i < core::kMaxArgs; ++i) p.push(0);
+  EXPECT_DEATH(p.push(0), "arity limit");
+}
+
+TEST(Edge, SelfSendWhileDormantViaBootIsImmediate) {
+  // A boot-context send to a dormant object runs inline even when the
+  // object immediately sends to itself (the self-send buffers).
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  MailAddr c;
+  world.boot(0, [&](Ctx& ctx) {
+    c = ctx.create_local(*cp.cls, nullptr, 0);
+    Word args[2] = {5, cp.inc};
+    ctx.send_past(c, cp.fill, args, 2);
+    EXPECT_EQ(c.ptr->mq.size(), 5u);  // buffered self-sends
+  });
+  world.run();
+  EXPECT_EQ(apps::counter_state(c).count, 5);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// N-queens correctness and accounting across world shapes (the Section 6.2
+// workload): solutions must be exact for every (N, nodes, policy,
+// placement, topology) combination, object/message counts must match the
+// sequential tree, and runs must be deterministic.
+#include <gtest/gtest.h>
+
+#include "apps/nqueens.hpp"
+#include "apps/nqueens_seq.hpp"
+
+namespace {
+
+using namespace abcl;
+
+constexpr std::int64_t kSolutions[] = {0, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724};
+
+TEST(NQueensSeq, KnownSolutionCounts) {
+  for (int n = 1; n <= 10; ++n) {
+    auto r = apps::nqueens_seq(n, 10, 5);
+    EXPECT_EQ(r.solutions, kSolutions[n]) << "n=" << n;
+    EXPECT_GT(r.tree_nodes, 0u);
+    EXPECT_GT(r.charged, 0u);
+  }
+}
+
+TEST(NQueensSeq, ChargeFormulaIsLinear) {
+  auto a = apps::nqueens_seq(7, 0, 1);
+  auto b = apps::nqueens_seq(7, 100, 1);
+  EXPECT_EQ(b.charged - a.charged, 100 * a.tree_nodes);
+}
+
+struct Shape {
+  int n;
+  int nodes;
+  core::SchedPolicy policy;
+  remote::PlacementKind placement;
+  net::TopologyKind topology;
+};
+
+class NQueensShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(NQueensShapes, ExactSolutionsAndCounts) {
+  const Shape s = GetParam();
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = s.nodes;
+  cfg.node.policy = s.policy;
+  cfg.placement = s.placement;
+  cfg.topology = s.topology;
+  World world(prog, cfg);
+
+  apps::NQueensParams p;
+  p.n = s.n;
+  auto r = apps::run_nqueens(world, np, p);
+  EXPECT_EQ(r.solutions, kSolutions[s.n]);
+
+  auto seq = apps::nqueens_seq(s.n, p.charge_base, p.charge_per_col);
+  EXPECT_EQ(r.objects_created, seq.tree_nodes);
+  EXPECT_EQ(r.messages, 2 * seq.tree_nodes);
+  EXPECT_GT(r.sim_time, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NQueensShapes,
+    ::testing::Values(
+        Shape{4, 1, core::SchedPolicy::kStack, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kTorus2D},
+        Shape{6, 1, core::SchedPolicy::kNaive, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kTorus2D},
+        Shape{7, 4, core::SchedPolicy::kStack, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kTorus2D},
+        Shape{7, 4, core::SchedPolicy::kNaive, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kTorus2D},
+        Shape{8, 16, core::SchedPolicy::kStack, remote::PlacementKind::kRandom,
+              net::TopologyKind::kTorus2D},
+        Shape{8, 16, core::SchedPolicy::kStack, remote::PlacementKind::kNeighbor,
+              net::TopologyKind::kTorus2D},
+        Shape{8, 16, core::SchedPolicy::kStack, remote::PlacementKind::kSelf,
+              net::TopologyKind::kTorus2D},
+        Shape{8, 13, core::SchedPolicy::kStack, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kMesh2D},
+        Shape{8, 16, core::SchedPolicy::kStack, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kFullyConnected},
+        Shape{9, 64, core::SchedPolicy::kStack, remote::PlacementKind::kRoundRobin,
+              net::TopologyKind::kTorus2D},
+        Shape{9, 64, core::SchedPolicy::kStack, remote::PlacementKind::kLeastLoaded,
+              net::TopologyKind::kTorus2D}));
+
+TEST(NQueens, ParallelismActuallyHelps) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  apps::NQueensParams p;
+  p.n = 9;
+
+  sim::Instr t1, t16;
+  {
+    WorldConfig cfg;
+    cfg.nodes = 1;
+    World world(prog, cfg);
+    t1 = apps::run_nqueens(world, np, p).sim_time;
+  }
+  {
+    WorldConfig cfg;
+    cfg.nodes = 16;
+    World world(prog, cfg);
+    t16 = apps::run_nqueens(world, np, p).sim_time;
+  }
+  EXPECT_LT(static_cast<double>(t16), static_cast<double>(t1) / 3.0);
+}
+
+TEST(NQueens, StackBeatsNaive) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  apps::NQueensParams p;
+  p.n = 8;
+
+  sim::Instr stack_t, naive_t;
+  {
+    WorldConfig cfg;
+    cfg.nodes = 16;
+    World world(prog, cfg);
+    stack_t = apps::run_nqueens(world, np, p).sim_time;
+  }
+  {
+    WorldConfig cfg;
+    cfg.nodes = 16;
+    cfg.node.policy = core::SchedPolicy::kNaive;
+    World world(prog, cfg);
+    naive_t = apps::run_nqueens(world, np, p).sim_time;
+  }
+  // Figure 6: stack scheduling is substantially faster.
+  EXPECT_LT(static_cast<double>(stack_t), static_cast<double>(naive_t));
+}
+
+TEST(NQueens, MajorityOfLocalMessagesHitDormantObjects) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 16;
+  World world(prog, cfg);
+  apps::NQueensParams p;
+  p.n = 9;
+  auto r = apps::run_nqueens(world, np, p);
+  // Section 6.3: "approximately 75% of local messages are sent to dormant
+  // mode objects". Allow a generous band.
+  double frac = static_cast<double>(r.stats.local_to_dormant) /
+                static_cast<double>(r.stats.local_sends);
+  EXPECT_GT(frac, 0.5);
+}
+
+TEST(NQueens, DeterministicAcrossIdenticalRuns) {
+  apps::NQueensParams p;
+  p.n = 8;
+  auto run_once = [&](std::uint64_t seed) {
+    core::Program prog;
+    auto np = apps::register_nqueens(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = 16;
+    cfg.placement = remote::PlacementKind::kRandom;  // exercises the RNG
+    cfg.seed = seed;
+    World world(prog, cfg);
+    auto r = apps::run_nqueens(world, np, p);
+    return std::tuple<sim::Instr, std::uint64_t, std::int64_t>(
+        r.sim_time, r.rep.quanta, r.solutions);
+  };
+  auto a = run_once(7);
+  auto b = run_once(7);
+  auto c = run_once(8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::get<2>(c), 92);
+  // A different seed changes placement, hence (almost surely) timing.
+  EXPECT_NE(std::get<0>(a), std::get<0>(c));
+}
+
+TEST(NQueens, PaperCalibratedWorkModelAnchors) {
+  auto p8 = apps::NQueensParams::paper_calibrated(8);
+  auto p13 = apps::NQueensParams::paper_calibrated(13);
+  auto seq8 = apps::nqueens_seq(8, p8.charge_base, p8.charge_per_col);
+  // Table 4: N=8 sequential elapsed 84 ms on the 25 MHz SS1+.
+  double ms8 = sim::CostModel::ap1000().ms(seq8.charged);
+  EXPECT_GT(ms8, 60.0);
+  EXPECT_LT(ms8, 110.0);
+  EXPECT_GT(p13.charge_base, p8.charge_base);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Placement policies (Section 2.5's locality control) and the Category-4
+// load-gossip service.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/counters.hpp"
+#include "remote/placement.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace abcl;
+
+struct Fixture {
+  core::Program prog;
+  apps::CounterProgram counter;
+
+  Fixture() {
+    counter = apps::register_counter(prog);
+    prog.finalize();
+  }
+};
+
+TEST(Placement, SelfAlwaysReturnsHome) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 8;
+  World world(fx.prog, cfg);
+  remote::Placement p(remote::PlacementKind::kSelf);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.choose(world.node(3)), 3);
+}
+
+TEST(Placement, RoundRobinCyclesOverAllNodes) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 8;
+  World world(fx.prog, cfg);
+  remote::Placement p(remote::PlacementKind::kRoundRobin);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 8; ++i) seen.insert(p.choose(world.node(2)));
+  EXPECT_EQ(seen.size(), 8u);  // covers every node (incl. eventually self)
+}
+
+TEST(Placement, RandomStaysInRangeAndSpreads) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 16;
+  World world(fx.prog, cfg);
+  remote::Placement p(remote::PlacementKind::kRandom);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 400; ++i) {
+    NodeId t = p.choose(world.node(0));
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 16);
+    seen.insert(t);
+  }
+  EXPECT_GE(seen.size(), 12u);
+}
+
+TEST(Placement, NeighborReturnsOneHopTargets) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 16;  // 4x4 torus
+  World world(fx.prog, cfg);
+  remote::Placement p(remote::PlacementKind::kNeighbor);
+  const auto& topo = world.network().topology();
+  for (int i = 0; i < 12; ++i) {
+    NodeId t = p.choose(world.node(5));
+    EXPECT_EQ(topo.hops(5, t), 1);
+  }
+}
+
+TEST(Placement, SingleNodeWorldAlwaysSelf) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  for (auto kind :
+       {remote::PlacementKind::kSelf, remote::PlacementKind::kRoundRobin,
+        remote::PlacementKind::kRandom, remote::PlacementKind::kNeighbor,
+        remote::PlacementKind::kLeastLoaded}) {
+    remote::Placement p(kind);
+    EXPECT_EQ(p.choose(world.node(0)), 0);
+  }
+}
+
+TEST(Placement, LeastLoadedUsesGossipedLoads) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 16;
+  World world(fx.prog, cfg);
+  auto& rt = world.node(5);
+  auto nbs = world.network().topology().neighbors(5);
+  ASSERT_GE(nbs.size(), 2u);
+  // All neighbours heavily loaded except one.
+  for (auto nb : nbs) rt.note_peer_load(nb, 100);
+  rt.note_peer_load(nbs[1], 0);
+  remote::Placement p(remote::PlacementKind::kLeastLoaded);
+  // Self has load 0 as well; the policy prefers strictly smaller loads, so
+  // with equal best it stays local. Make the distinction observable:
+  EXPECT_EQ(p.choose(rt), 5);  // self load 0 == best neighbour: stays home
+  rt.note_peer_load(nbs[1], 0);
+  // Give self synthetic load by filling its sched queue indirectly: not
+  // accessible here, so assert the ranking logic through known loads only.
+  for (auto nb : nbs) {
+    if (nb != nbs[1]) {
+      EXPECT_NE(p.choose(rt), nb);
+    }
+  }
+}
+
+TEST(Placement, GossipServiceDistributesLoads) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(fx.prog, cfg);
+  world.boot(1, [&](Ctx& ctx) { ctx.gossip_load_now(); });
+  world.run();
+  // Every neighbour of node 1 heard a load figure (possibly zero); check
+  // the service plumbing by noting a nonzero load and re-gossiping.
+  const auto& ns = world.network().stats();
+  EXPECT_EQ(ns.per_category[static_cast<int>(net::AmCategory::kService)],
+            world.network().topology().neighbors(1).size());
+}
+
+}  // namespace

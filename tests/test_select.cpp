@@ -1,0 +1,560 @@
+// Selective reception (Sections 2.2 action 4, 4.2, 4.3) through the
+// SyncBuffer app: per-wait-site virtual function tables, direct context
+// restoration, queue-scan-before-block, and deferral of unaccepted
+// messages.
+#include <gtest/gtest.h>
+
+#include "apps/buffer.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace abcl;
+using namespace abcl::testsup;
+
+struct Fixture {
+  core::Program prog;
+  apps::BufferProgram buf;
+  AskerProgram asker;
+
+  Fixture() {
+    buf = apps::register_buffer(prog);
+    asker = register_asker(prog);
+    prog.finalize();
+  }
+};
+
+TEST(Select, GetFromNonEmptyBufferNeverWaits) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr a;
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    Word item = 31;
+    ctx.send_past(b, fx.buf.put, &item, 1);
+    a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+    ctx.send_past(a, fx.asker.go, args, 3);
+    EXPECT_EQ(a.ptr->state_as<AskerState>()->got, 31);
+  });
+  world.run();
+  EXPECT_EQ(world.total_stats().blocks_select, 0u);
+}
+
+TEST(Select, GetOnEmptyBufferWaitsAndPutRestoresDirectly) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr a, b;
+  world.boot(0, [&](Ctx& ctx) {
+    b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+    ctx.send_past(a, fx.asker.go, args, 3);
+    // Both the buffer's get-method and the asker are now blocked.
+    EXPECT_EQ(b.ptr->mode, core::Mode::kWaiting);
+    EXPECT_GE(b.ptr->vftp->wait_site, 0);
+    // The put restores the blocked get directly on this stack.
+    Word item = 99;
+    ctx.send_past(b, fx.buf.put, &item, 1);
+    EXPECT_EQ(a.ptr->state_as<AskerState>()->got, 99);
+    EXPECT_EQ(b.ptr->mode, core::Mode::kDormant);
+  });
+  world.run();
+  auto st = world.total_stats();
+  EXPECT_EQ(st.blocks_select, 1u);
+  EXPECT_EQ(st.local_to_waiting_hit, 1u);
+  EXPECT_EQ(apps::buffer_state(b).waited_gets, 1u);
+}
+
+TEST(Select, ScanFindsMessageAlreadyInQueue) {
+  // A put buffered while the buffer was active must satisfy a later get
+  // without blocking: "the object is not blocked as long as it finds an
+  // awaited message when it first checks its message queue".
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  // Force queueing of the put by disabling the direct-call path.
+  cfg.node.max_call_depth = 0;
+  World world(fx.prog, cfg);
+  MailAddr a, b;
+  world.boot(0, [&](Ctx& ctx) {
+    b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    Word item = 12;
+    ctx.send_past(b, fx.buf.put, &item, 1);
+    Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+    ctx.send_past(a, fx.asker.go, args, 3);
+  });
+  world.run();
+  EXPECT_EQ(a.ptr->state_as<AskerState>()->got, 12);
+}
+
+TEST(Select, UnacceptedMessagesDeferredWhileWaiting) {
+  // While a get waits for a put, another get must be buffered (not served)
+  // and handled after the first completes — in order.
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr a1, a2, b;
+  world.boot(0, [&](Ctx& ctx) {
+    b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    a1 = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    a2 = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+    ctx.send_past(a1, fx.asker.go, args, 3);
+    ctx.send_past(a2, fx.asker.go, args, 3);
+    EXPECT_EQ(b.ptr->mq.size(), 1u);  // second get deferred
+    Word i1 = 100, i2 = 200;
+    ctx.send_past(b, fx.buf.put, &i1, 1);  // serves the waiting get (a1)
+    ctx.send_past(b, fx.buf.put, &i2, 1);  // a2's get replays, then this put
+  });
+  world.run();
+  EXPECT_EQ(a1.ptr->state_as<AskerState>()->got, 100);
+  EXPECT_EQ(a2.ptr->state_as<AskerState>()->got, 200);
+}
+
+TEST(Select, WorksUnderNaivePolicy) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.policy = core::SchedPolicy::kNaive;
+  World world(fx.prog, cfg);
+  MailAddr a, b;
+  world.boot(0, [&](Ctx& ctx) {
+    b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+    ctx.send_past(a, fx.asker.go, args, 3);
+    Word item = 64;
+    ctx.send_past(b, fx.buf.put, &item, 1);
+  });
+  world.run();
+  EXPECT_EQ(a.ptr->state_as<AskerState>()->got, 64);
+}
+
+TEST(Select, RemoteProducersAndConsumers) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(fx.prog, cfg);
+  MailAddr b;
+  std::vector<MailAddr> askers;
+  world.boot(1, [&](Ctx& ctx) { b = ctx.create_local(*fx.buf.cls, nullptr, 0); });
+  world.boot(2, [&](Ctx& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      MailAddr a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+      askers.push_back(a);
+      Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+      ctx.send_past(a, fx.asker.go, args, 3);
+    }
+  });
+  world.boot(3, [&](Ctx& ctx) {
+    for (Word item = 1; item <= 3; ++item) {
+      ctx.send_past(b, fx.buf.put, &item, 1);
+    }
+  });
+  world.run();
+  std::int64_t sum = 0;
+  for (MailAddr a : askers) {
+    EXPECT_TRUE(a.ptr->state_as<AskerState>()->completed);
+    sum += a.ptr->state_as<AskerState>()->got;
+  }
+  EXPECT_EQ(sum, 6);  // each item consumed exactly once
+  EXPECT_EQ(apps::buffer_state(b).puts, 3u);
+}
+
+TEST(Select, ManyItemsFlowThroughInOrderWhenBufferNotWaiting) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr b;
+  std::vector<MailAddr> askers;
+  world.boot(0, [&](Ctx& ctx) {
+    b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    for (Word item = 10; item < 15; ++item) {
+      ctx.send_past(b, fx.buf.put, &item, 1);
+    }
+    for (int i = 0; i < 5; ++i) {
+      MailAddr a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+      askers.push_back(a);
+      Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+      ctx.send_past(a, fx.asker.go, args, 3);
+    }
+  });
+  world.run();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(askers[static_cast<std::size_t>(i)].ptr->state_as<AskerState>()->got,
+              10 + i)
+        << "ring buffer must be FIFO";
+  }
+}
+
+TEST(Select, PutIntoFullBufferWaitsForGet) {
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr b, a;
+  world.boot(0, [&](Ctx& ctx) {
+    b = ctx.create_local(*fx.buf.cls, nullptr, 0);
+    for (Word item = 0; item < apps::kBufferCapacity; ++item) {
+      ctx.send_past(b, fx.buf.put, &item, 1);
+    }
+    EXPECT_EQ(b.ptr->mode, core::Mode::kDormant);
+    // One more put: the buffer is full, the put must select-wait.
+    Word overflow_item = 99;
+    ctx.send_past(b, fx.buf.put, &overflow_item, 1);
+    EXPECT_EQ(b.ptr->mode, core::Mode::kWaiting);
+    // A get arrives: it is consumed by the waiting put's site, which serves
+    // the OLDEST item (FIFO) and then stores its own.
+    a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+    Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+    ctx.send_past(a, fx.asker.go, args, 3);
+    EXPECT_EQ(a.ptr->state_as<AskerState>()->got, 0);
+    EXPECT_EQ(b.ptr->mode, core::Mode::kDormant);
+  });
+  world.run();
+  const auto& bs = apps::buffer_state(b);
+  EXPECT_EQ(bs.waited_puts, 1u);
+  EXPECT_EQ(bs.count, apps::kBufferCapacity);  // still full: 1..15 + 99
+}
+
+TEST(Select, OverflowingProducerIsFlowControlled) {
+  // 3x capacity puts, then enough gets: every item must come out exactly
+  // once, in order.
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(fx.prog, cfg);
+  const int kItems = 3 * apps::kBufferCapacity;
+  MailAddr b;
+  std::vector<MailAddr> askers;
+  world.boot(0, [&](Ctx& ctx) { b = ctx.create_local(*fx.buf.cls, nullptr, 0); });
+  world.boot(1, [&](Ctx& ctx) {
+    for (Word item = 0; item < static_cast<Word>(kItems); ++item) {
+      ctx.send_past(b, fx.buf.put, &item, 1);
+    }
+  });
+  world.run();
+  world.boot(0, [&](Ctx& ctx) {
+    for (int i = 0; i < kItems; ++i) {
+      MailAddr a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+      askers.push_back(a);
+      Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+      ctx.send_past(a, fx.asker.go, args, 3);
+    }
+  });
+  world.run();
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(askers[static_cast<std::size_t>(i)].ptr->state_as<AskerState>()->got,
+              i);
+  }
+  EXPECT_GT(apps::buffer_state(b).waited_puts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid wait: selective reception including now-type replies (Section 2.2
+// action 4). A Requester asks a Delay object and waits for EITHER the reply
+// or a "cancel" message.
+// ---------------------------------------------------------------------------
+
+namespace hybrid {
+
+struct ReqState {
+  std::int64_t got = -1;
+  bool cancelled = false;
+  bool completed = false;
+};
+
+constexpr std::uint16_t kPcCancelled = 2;
+
+struct ReqGoFrame : Frame {
+  MailAddr target;
+  PatternId ask_pat = 0;
+  NowCall call;
+
+  static void init(ReqGoFrame& f, const Msg& m) {
+    f.target = m.addr(0);
+    f.ask_pat = static_cast<PatternId>(m.at(2));
+  }
+  static void copy_cancel(ReqGoFrame&, const Msg&) {}  // no payload
+
+  static Status run(Ctx& ctx, ReqState& self, ReqGoFrame& f) {
+    ABCL_BEGIN(f);
+    f.call = ctx.send_now(f.target, f.ask_pat, nullptr, 0);
+    ABCL_AWAIT_OR_SELECT(ctx, self, f, 1, f.call, /*site=*/0);
+    // Reply path.
+    self.got = static_cast<std::int64_t>(ctx.take_reply(f.call));
+    self.completed = true;
+    ABCL_RETURN();
+    case kPcCancelled:
+      // Cancel path: the reply registration was dropped; consume the reply
+      // whenever it eventually arrives so the box is reclaimed.
+      self.cancelled = true;
+      ABCL_AWAIT(ctx, f, 3, f.call);
+      self.got = static_cast<std::int64_t>(ctx.take_reply(f.call));
+      self.completed = true;
+    ABCL_END();
+  }
+};
+
+struct CancelFrame : Frame {
+  static void init(CancelFrame&, const Msg&) {}
+  static Status run(Ctx&, ReqState& self, CancelFrame&) {
+    // Cancel arriving while NOT waiting: record and ignore.
+    self.cancelled = true;
+    return Status::kDone;
+  }
+};
+
+struct Prog {
+  PatternId go = 0, cancel = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+Prog register_requester(core::Program& prog) {
+  Prog rp;
+  rp.go = prog.patterns().intern("req.go", 3);
+  rp.cancel = prog.patterns().intern("req.cancel", 0);
+  ClassDef<ReqState> def(prog, "Requester");
+  def.method<ReqGoFrame>(rp.go);
+  def.method<CancelFrame>(rp.cancel);
+  std::int32_t site = def.wait_site<ReqGoFrame>();
+  ABCL_CHECK(site == 0);
+  def.accept<ReqGoFrame, &ReqGoFrame::copy_cancel>(site, rp.cancel,
+                                                   kPcCancelled);
+  rp.cls = &def.info();
+  return rp;
+}
+
+}  // namespace hybrid
+
+struct HybridFixture {
+  core::Program prog;
+  DelayProgram delay;
+  hybrid::Prog req;
+  HybridFixture() {
+    delay = register_delay(prog);
+    req = hybrid::register_requester(prog);
+    prog.finalize();
+  }
+};
+
+TEST(HybridWait, ReplyArrivingFirstTakesTheAwaitPath) {
+  HybridFixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr r, d;
+  world.boot(0, [&](Ctx& ctx) {
+    d = ctx.create_local(*fx.delay.cls, nullptr, 0);
+    r = ctx.create_local(*fx.req.cls, nullptr, 0);
+    Word args[3] = {d.word_node(), d.word_ptr(), fx.delay.ask};
+    ctx.send_past(r, fx.req.go, args, 3);
+    EXPECT_EQ(r.ptr->mode, core::Mode::kWaiting);
+    Word v = 7;
+    ctx.send_past(d, fx.delay.kick, &v, 1);
+  });
+  world.run();
+  const auto& st = *r.ptr->state_as<hybrid::ReqState>();
+  EXPECT_TRUE(st.completed);
+  EXPECT_FALSE(st.cancelled);
+  EXPECT_EQ(st.got, 7);
+}
+
+TEST(HybridWait, CancelArrivingFirstTakesTheSelectPath) {
+  HybridFixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr r, d;
+  world.boot(0, [&](Ctx& ctx) {
+    d = ctx.create_local(*fx.delay.cls, nullptr, 0);
+    r = ctx.create_local(*fx.req.cls, nullptr, 0);
+    Word args[3] = {d.word_node(), d.word_ptr(), fx.delay.ask};
+    ctx.send_past(r, fx.req.go, args, 3);
+    ctx.send_past(r, fx.req.cancel, nullptr, 0);  // restores the select arm
+    const auto& st = *r.ptr->state_as<hybrid::ReqState>();
+    EXPECT_TRUE(st.cancelled);
+    EXPECT_FALSE(st.completed);  // now awaiting the (late) reply cleanly
+    EXPECT_EQ(r.ptr->mode, core::Mode::kWaiting);
+    Word v = 13;
+    ctx.send_past(d, fx.delay.kick, &v, 1);  // the late reply
+  });
+  world.run();
+  const auto& st = *r.ptr->state_as<hybrid::ReqState>();
+  EXPECT_TRUE(st.completed);
+  EXPECT_TRUE(st.cancelled);
+  EXPECT_EQ(st.got, 13);
+}
+
+TEST(HybridWait, CancelWhileNotWaitingIsAPlainMethod) {
+  HybridFixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(fx.prog, cfg);
+  MailAddr r;
+  world.boot(0, [&](Ctx& ctx) {
+    r = ctx.create_local(*fx.req.cls, nullptr, 0);
+    ctx.send_past(r, fx.req.cancel, nullptr, 0);
+  });
+  world.run();
+  EXPECT_TRUE(r.ptr->state_as<hybrid::ReqState>()->cancelled);
+  EXPECT_EQ(r.ptr->mode, core::Mode::kDormant);
+}
+
+TEST(HybridWait, RemoteReplyRace) {
+  // Across nodes: the cancel and the reply race through the network; both
+  // orders must leave a consistent, completed requester.
+  HybridFixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 3;
+  World world(fx.prog, cfg);
+  MailAddr r, d;
+  world.boot(1, [&](Ctx& ctx) { d = ctx.create_local(*fx.delay.cls, nullptr, 0); });
+  world.boot(0, [&](Ctx& ctx) {
+    r = ctx.create_local(*fx.req.cls, nullptr, 0);
+    Word args[3] = {d.word_node(), d.word_ptr(), fx.delay.ask};
+    ctx.send_past(r, fx.req.go, args, 3);
+  });
+  world.run();  // requester is blocked on the hybrid wait
+  world.boot(2, [&](Ctx& ctx) { ctx.send_past(r, fx.req.cancel, nullptr, 0); });
+  world.boot(1, [&](Ctx& ctx) {
+    Word v = 21;
+    ctx.send_past(d, fx.delay.kick, &v, 1);
+  });
+  world.run();
+  const auto& st = *r.ptr->state_as<hybrid::ReqState>();
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.got, 21);
+}
+
+TEST(HybridWait, NaivePolicyReplyAndCancelRace) {
+  // Regression: under the naive policy a select-retry item can already be
+  // pending when the reply arrives; the wakeup must neither double-schedule
+  // nor get lost — the pending item observes the full box and resumes.
+  HybridFixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.policy = core::SchedPolicy::kNaive;
+  World world(fx.prog, cfg);
+  MailAddr r, d;
+  world.boot(0, [&](Ctx& ctx) {
+    d = ctx.create_local(*fx.delay.cls, nullptr, 0);
+    r = ctx.create_local(*fx.req.cls, nullptr, 0);
+    Word args[3] = {d.word_node(), d.word_ptr(), fx.delay.ask};
+    ctx.send_past(r, fx.req.go, args, 3);
+  });
+  world.run();  // r blocked in the hybrid wait, d holds the reply dest
+  ASSERT_EQ(r.ptr->mode, core::Mode::kWaiting);
+  world.boot(0, [&](Ctx& ctx) {
+    // Order matters: the kick is scheduled before the cancel's retry item,
+    // so the reply is delivered while r's kQueuedNext is pending.
+    Word v = 5;
+    ctx.send_past(d, fx.delay.kick, &v, 1);
+    ctx.send_past(r, fx.req.cancel, nullptr, 0);
+    EXPECT_EQ(r.ptr->sched_state, core::SchedState::kQueuedNext);
+  });
+  world.run();
+  const auto& st = *r.ptr->state_as<hybrid::ReqState>();
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.got, 5);
+  EXPECT_TRUE(st.cancelled);  // the queued cancel ran as a plain method
+  EXPECT_EQ(r.ptr->mode, core::Mode::kDormant);
+  EXPECT_TRUE(r.ptr->mq.empty());
+}
+
+TEST(HybridWait, DepthBoundReplyAndCancelRace) {
+  // Same race under the stack policy with the direct-call depth exhausted.
+  HybridFixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.max_call_depth = 0;
+  World world(fx.prog, cfg);
+  MailAddr r, d;
+  world.boot(0, [&](Ctx& ctx) {
+    d = ctx.create_local(*fx.delay.cls, nullptr, 0);
+    r = ctx.create_local(*fx.req.cls, nullptr, 0);
+    Word args[3] = {d.word_node(), d.word_ptr(), fx.delay.ask};
+    ctx.send_past(r, fx.req.go, args, 3);
+  });
+  world.run();
+  ASSERT_EQ(r.ptr->mode, core::Mode::kWaiting);
+  world.boot(0, [&](Ctx& ctx) {
+    Word v = 6;
+    ctx.send_past(d, fx.delay.kick, &v, 1);
+    ctx.send_past(r, fx.req.cancel, nullptr, 0);
+  });
+  world.run();
+  const auto& st = *r.ptr->state_as<hybrid::ReqState>();
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(r.ptr->mode, core::Mode::kDormant);
+  EXPECT_TRUE(r.ptr->mq.empty());
+}
+
+// Parameterized: the full producer/consumer flow balances for any mix of
+// order, policy and node count.
+class SelectFlow
+    : public ::testing::TestWithParam<std::tuple<int, core::SchedPolicy, bool>> {
+};
+
+TEST_P(SelectFlow, AllGetsServedExactlyOnce) {
+  auto [nodes, policy, puts_first] = GetParam();
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node.policy = policy;
+  World world(fx.prog, cfg);
+
+  constexpr int kN = 12;
+  MailAddr b;
+  std::vector<MailAddr> askers;
+  world.boot(0, [&](Ctx& ctx) { b = ctx.create_local(*fx.buf.cls, nullptr, 0); });
+  auto do_puts = [&] {
+    world.boot(nodes > 1 ? 1 : 0, [&](Ctx& ctx) {
+      for (Word item = 0; item < kN; ++item) {
+        ctx.send_past(b, fx.buf.put, &item, 1);
+      }
+    });
+  };
+  auto do_gets = [&] {
+    world.boot(nodes > 2 ? 2 : 0, [&](Ctx& ctx) {
+      for (int i = 0; i < kN; ++i) {
+        MailAddr a = ctx.create_local(*fx.asker.cls, nullptr, 0);
+        askers.push_back(a);
+        Word args[3] = {b.word_node(), b.word_ptr(), fx.buf.get};
+        ctx.send_past(a, fx.asker.go, args, 3);
+      }
+    });
+  };
+  if (puts_first) {
+    do_puts();
+    do_gets();
+  } else {
+    do_gets();
+    do_puts();
+  }
+  world.run();
+
+  std::int64_t sum = 0;
+  for (MailAddr a : askers) {
+    ASSERT_TRUE(a.ptr->state_as<AskerState>()->completed);
+    sum += a.ptr->state_as<AskerState>()->got;
+  }
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);  // every item consumed exactly once
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, SelectFlow,
+    ::testing::Combine(::testing::Values(1, 3, 8),
+                       ::testing::Values(core::SchedPolicy::kStack,
+                                         core::SchedPolicy::kNaive),
+                       ::testing::Bool()));
+
+}  // namespace

@@ -1,0 +1,107 @@
+// End-to-end smoke tests: the whole stack (program -> world -> run) on the
+// shipped workloads.
+#include <gtest/gtest.h>
+
+#include "abcl/abcl.hpp"
+#include "apps/counters.hpp"
+#include "apps/fib.hpp"
+#include "apps/nqueens.hpp"
+#include "apps/nqueens_seq.hpp"
+#include "apps/pingpong.hpp"
+
+namespace {
+
+using namespace abcl;
+
+TEST(Smoke, CounterLocal) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+
+  MailAddr c;
+  world.boot(0, [&](Ctx& ctx) {
+    c = ctx.create_local(*cp.cls, nullptr, 0);
+    for (int i = 0; i < 10; ++i) ctx.send_past(c, cp.inc, nullptr, 0);
+  });
+  world.run();
+  EXPECT_EQ(apps::counter_state(c).count, 10);
+}
+
+TEST(Smoke, CounterRemote) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(prog, cfg);
+
+  MailAddr c;
+  world.boot(2, [&](Ctx& ctx) { c = ctx.create_local(*cp.cls, nullptr, 0); });
+  world.boot(0, [&](Ctx& ctx) {
+    for (int i = 0; i < 7; ++i) ctx.send_past(c, cp.inc, nullptr, 0);
+  });
+  world.run();
+  EXPECT_EQ(apps::counter_state(c).count, 7);
+}
+
+TEST(Smoke, PingPongInterNode) {
+  core::Program prog;
+  auto pp = apps::register_pingpong(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(prog, cfg);
+  auto r = apps::run_pingpong(world, pp, 0, 1, 100);
+  EXPECT_GE(r.bounces, 200u);
+  EXPECT_GT(r.us_per_message, 0.0);
+}
+
+TEST(Smoke, FibLocal) {
+  core::Program prog;
+  auto fp = apps::register_fib(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  auto r = apps::run_fib(world, fp, 15);
+  EXPECT_EQ(r.value, 610);
+}
+
+TEST(Smoke, FibDistributed) {
+  core::Program prog;
+  auto fp = apps::register_fib(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 8;
+  World world(prog, cfg);
+  auto r = apps::run_fib(world, fp, 12);
+  EXPECT_EQ(r.value, 144);
+}
+
+TEST(Smoke, NQueens6) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(prog, cfg);
+  apps::NQueensParams p;
+  p.n = 6;
+  auto r = apps::run_nqueens(world, np, p);
+  EXPECT_EQ(r.solutions, 4);
+
+  auto seq = apps::nqueens_seq(6, p.charge_base, p.charge_per_col);
+  EXPECT_EQ(seq.solutions, 4);
+  EXPECT_EQ(seq.tree_nodes, r.objects_created);
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// Stress and property tests: random actor traffic across many nodes, token
+// conservation, yield-based preemption, determinism of full runs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/counters.hpp"
+#include "apps/fib.hpp"
+#include "apps/nqueens.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace abcl;
+using namespace abcl::testsup;
+
+// ---------------------------------------------------------------------------
+// TokenWorker: "tw.token" [hops, latch_node, latch_ptr, done_pat, dir_node,
+// dir_ptr] — forwards the token to a random worker (looked up through a
+// Directory object's state) until hops run out, then reports to the latch.
+// Simpler variant: the worker picks a random *node* and sends to the worker
+// on that node, whose address it carries in its state.
+// ---------------------------------------------------------------------------
+struct TokenState {
+  std::uint64_t received = 0;
+};
+
+struct TokenRing {
+  // Host-shared directory: one worker per node. Methods read it via a raw
+  // pointer passed in creation args (host memory, read-only during the run).
+  std::vector<MailAddr> workers;
+};
+
+struct TokenFrame : Frame {
+  std::int64_t hops = 0;
+  ReplyDest latch_like;  // reuse ReplyDest packing for the latch address
+  MailAddr latch;
+  PatternId done_pat = 0;
+  PatternId self_pat = 0;
+  const TokenRing* ring = nullptr;
+  static void init(TokenFrame& f, const Msg& m) {
+    f.hops = m.i64(0);
+    f.latch = m.addr(1);
+    f.done_pat = static_cast<PatternId>(m.at(3));
+    f.ring = reinterpret_cast<const TokenRing*>(
+        static_cast<std::uintptr_t>(m.at(4)));
+    f.self_pat = m.pattern;
+  }
+  static Status run(Ctx& ctx, TokenState& self, TokenFrame& f) {
+    self.received += 1;
+    if (f.hops == 0) {
+      Word one = 1;
+      ctx.send_past(f.latch, f.done_pat, &one, 1);
+      return Status::kDone;
+    }
+    std::size_t pick = static_cast<std::size_t>(
+        ctx.rng().below(f.ring->workers.size()));
+    Word args[5] = {static_cast<Word>(f.hops - 1), f.latch.word_node(),
+                    f.latch.word_ptr(), f.done_pat,
+                    static_cast<Word>(reinterpret_cast<std::uintptr_t>(f.ring))};
+    ctx.send_past(f.ring->workers[pick], f.self_pat, args, 5);
+    return Status::kDone;
+  }
+};
+
+struct TokenProgram {
+  PatternId token = 0;
+  const core::ClassInfo* cls = nullptr;
+  CompletionPatterns latch;
+};
+
+TokenProgram register_token(core::Program& prog) {
+  TokenProgram tp;
+  tp.latch = register_completion_latch(prog);
+  tp.token = prog.patterns().intern("tw.token", 5);
+  ClassDef<TokenState> def(prog, "TokenWorker");
+  def.method<TokenFrame>(tp.token);
+  tp.cls = &def.info();
+  return tp;
+}
+
+struct TokenRun {
+  std::uint64_t deliveries = 0;  // token hops actually executed
+  sim::Instr sim_time = 0;
+  std::uint64_t quanta = 0;
+  bool completed = false;
+};
+
+TokenRun run_tokens(int nodes, int tokens, int hops, std::uint64_t seed,
+                    core::SchedPolicy policy) {
+  core::Program prog;
+  TokenProgram tp = register_token(prog);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.seed = seed;
+  cfg.node.policy = policy;
+  World world(prog, cfg);
+
+  TokenRing ring;
+  for (NodeId nid = 0; nid < nodes; ++nid) {
+    world.boot(nid, [&](Ctx& ctx) {
+      ring.workers.push_back(ctx.create_local(*tp.cls, nullptr, 0));
+    });
+  }
+  MailAddr latch;
+  world.boot(0, [&](Ctx& ctx) {
+    latch = ctx.create_local(*tp.latch.cls, nullptr, 0);
+    ctx.send_past(latch, tp.latch.expect, {static_cast<Word>(tokens)});
+    for (int i = 0; i < tokens; ++i) {
+      Word args[5] = {static_cast<Word>(hops), latch.word_node(),
+                      latch.word_ptr(), tp.latch.done,
+                      static_cast<Word>(reinterpret_cast<std::uintptr_t>(&ring))};
+      ctx.send_past(ring.workers[static_cast<std::size_t>(i) % ring.workers.size()],
+                    tp.token, args, 5);
+    }
+  });
+  RunReport rep = world.run();
+
+  TokenRun out;
+  out.completed = latch_state(latch).done();
+  std::uint64_t received = 0;
+  for (MailAddr w : ring.workers) {
+    if (!w.ptr->needs_init) received += w.ptr->state_as<TokenState>()->received;
+  }
+  out.deliveries = received;
+  out.sim_time = rep.sim_time;
+  out.quanta = rep.quanta;
+  return out;
+}
+
+class TokenSoup
+    : public ::testing::TestWithParam<std::tuple<int, int, core::SchedPolicy>> {
+};
+
+TEST_P(TokenSoup, EveryTokenTravelsItsFullHopCountAndTerminates) {
+  auto [nodes, tokens, policy] = GetParam();
+  const int hops = 50;
+  TokenRun r = run_tokens(nodes, tokens, hops, 42, policy);
+  ASSERT_TRUE(r.completed);
+  // Conservation: every token is received exactly hops+1 times.
+  EXPECT_EQ(r.deliveries,
+            static_cast<std::uint64_t>(tokens) * static_cast<std::uint64_t>(hops + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, TokenSoup,
+    ::testing::Combine(::testing::Values(1, 4, 32, 128),
+                       ::testing::Values(1, 16, 64),
+                       ::testing::Values(core::SchedPolicy::kStack,
+                                         core::SchedPolicy::kNaive)));
+
+TEST(TokenSoup, DeterministicGivenSeed) {
+  TokenRun a = run_tokens(16, 32, 40, 7, core::SchedPolicy::kStack);
+  TokenRun b = run_tokens(16, 32, 40, 7, core::SchedPolicy::kStack);
+  TokenRun c = run_tokens(16, 32, 40, 8, core::SchedPolicy::kStack);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+  EXPECT_EQ(a.quanta, b.quanta);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  // A different seed routes tokens differently (almost surely).
+  EXPECT_NE(a.sim_time, c.sim_time);
+}
+
+// ---------------------------------------------------------------------------
+// Voluntary preemption (ABCL_YIELD): a long internal loop yields through the
+// scheduling queue instead of monopolizing the node.
+// ---------------------------------------------------------------------------
+struct SpinState {
+  std::int64_t iters_done = 0;
+};
+
+struct SpinFrame : Frame {
+  std::int64_t n = 0;
+  std::int64_t i = 0;
+  static void init(SpinFrame& f, const Msg& m) { f.n = m.i64(0); }
+  static Status run(Ctx& ctx, SpinState& self, SpinFrame& f) {
+    ABCL_BEGIN(f);
+    while (f.i < f.n) {
+      ctx.charge(5);
+      f.i += 1;
+      self.iters_done += 1;
+      ABCL_YIELD(ctx, f, 1);
+    }
+    ABCL_END();
+  }
+};
+
+TEST(Yield, LongLoopYieldsAndCompletes) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  PatternId spin = prog.patterns().intern("spin.go", 1);
+  ClassDef<SpinState> def(prog, "Spinner");
+  def.method<SpinFrame>(spin);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.reduction_budget = 0;  // should_yield() after any delivery
+  World world(prog, cfg);
+  MailAddr s, c;
+  world.boot(0, [&](Ctx& ctx) {
+    s = ctx.create_local(def.info(), nullptr, 0);
+    c = ctx.create_local(*cp.cls, nullptr, 0);
+    Word n = 200;
+    ctx.send_past(s, spin, &n, 1);
+    // The spinner yields, so other sends still get service while it spins.
+    ctx.send_past(c, cp.inc, nullptr, 0);
+  });
+  world.run();
+  EXPECT_EQ(s.ptr->state_as<SpinState>()->iters_done, 200);
+  EXPECT_EQ(apps::counter_state(c).count, 1);
+  EXPECT_GT(world.total_stats().yields, 100u);
+}
+
+TEST(Yield, MessagesArrivingDuringYieldAreServedFifo) {
+  core::Program prog;
+  PatternId spin = prog.patterns().intern("spin.go", 1);
+  ClassDef<SpinState> def(prog, "Spinner");
+  def.method<SpinFrame>(spin);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  cfg.node.reduction_budget = 0;
+  World world(prog, cfg);
+  MailAddr s;
+  world.boot(0, [&](Ctx& ctx) {
+    s = ctx.create_local(def.info(), nullptr, 0);
+    Word n1 = 50;
+    ctx.send_past(s, spin, &n1, 1);  // starts, yields
+    Word n2 = 7;
+    ctx.send_past(s, spin, &n2, 1);  // buffered behind the yielded run
+  });
+  world.run();
+  EXPECT_EQ(s.ptr->state_as<SpinState>()->iters_done, 57);
+}
+
+// ---------------------------------------------------------------------------
+// Full-run determinism for the bigger apps.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, FibIdenticalAcrossRuns) {
+  auto once = [] {
+    core::Program prog;
+    auto fp = apps::register_fib(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = 8;
+    cfg.placement = remote::PlacementKind::kRandom;
+    World world(prog, cfg);
+    auto r = apps::run_fib(world, fp, 14);
+    return std::tuple<std::int64_t, sim::Instr, std::uint64_t>(
+        r.value, r.rep.sim_time, r.rep.quanta);
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Determinism, StatsIdenticalAcrossRuns) {
+  auto once = [] {
+    core::Program prog;
+    auto np = apps::register_nqueens(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = 32;
+    World world(prog, cfg);
+    apps::NQueensParams p;
+    p.n = 8;
+    auto r = apps::run_nqueens(world, np, p);
+    return std::tuple(r.stats.local_sends, r.stats.remote_sends,
+                      r.stats.sched_dispatches, r.stats.chunk_stock_hits,
+                      r.stats.blocks_await, r.sim_time);
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace

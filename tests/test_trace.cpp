@@ -1,0 +1,123 @@
+// Tracer ring buffer and the World's utilization reporting.
+#include <gtest/gtest.h>
+
+#include "apps/counters.hpp"
+#include "apps/fib.hpp"
+#include "sim/trace.hpp"
+#include "support.hpp"
+
+namespace {
+
+using namespace abcl;
+
+TEST(Tracer, RecordsInOrder) {
+  sim::Tracer t(8);
+  for (int i = 0; i < 5; ++i) {
+    t.record(static_cast<sim::Instr>(i * 10), i % 2, sim::TraceEv::kQuantum);
+  }
+  EXPECT_EQ(t.size(), 5u);
+  auto ev = t.snapshot();
+  ASSERT_EQ(ev.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ev[static_cast<std::size_t>(i)].t, static_cast<sim::Instr>(i * 10));
+  }
+}
+
+TEST(Tracer, RingOverwritesOldest) {
+  sim::Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<sim::Instr>(i), 0, sim::TraceEv::kSendRemote);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  auto ev = t.snapshot();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev.front().t, 6u);
+  EXPECT_EQ(ev.back().t, 9u);
+}
+
+TEST(Tracer, ClearResets) {
+  sim::Tracer t(4);
+  t.record(1, 0, sim::TraceEv::kBlock);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Tracer, CapturesRuntimeEventKinds) {
+  core::Program prog;
+  auto fp = apps::register_fib(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(prog, cfg);
+  sim::Tracer tracer(1u << 16);
+  world.attach_tracer(&tracer);
+  apps::run_fib(world, fp, 10);
+
+  bool saw[6] = {};
+  for (const auto& e : tracer.snapshot()) {
+    saw[static_cast<int>(e.kind)] = true;
+    EXPECT_GE(e.node, 0);
+    EXPECT_LT(e.node, 4);
+  }
+  EXPECT_TRUE(saw[static_cast<int>(sim::TraceEv::kQuantum)]);
+  EXPECT_TRUE(saw[static_cast<int>(sim::TraceEv::kSendRemote)]);
+  EXPECT_TRUE(saw[static_cast<int>(sim::TraceEv::kRecvRemote)]);
+  EXPECT_TRUE(saw[static_cast<int>(sim::TraceEv::kBlock)]);
+  EXPECT_TRUE(saw[static_cast<int>(sim::TraceEv::kResume)]);
+  EXPECT_TRUE(saw[static_cast<int>(sim::TraceEv::kCreate)]);
+}
+
+TEST(Tracer, DetachStopsRecording) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  sim::Tracer tracer(64);
+  world.attach_tracer(&tracer);
+  MailAddr c;
+  world.boot(0, [&](Ctx& ctx) { c = ctx.create_local(*cp.cls, nullptr, 0); });
+  EXPECT_GT(tracer.total_recorded(), 0u);
+  std::uint64_t before = tracer.total_recorded();
+  world.attach_tracer(nullptr);
+  world.boot(0, [&](Ctx& ctx) { ctx.create_local(*cp.cls, nullptr, 0); });
+  EXPECT_EQ(tracer.total_recorded(), before);
+}
+
+TEST(Utilization, SingleBusyNodeShowsFullUtilization) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 1;
+  World world(prog, cfg);
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*cp.cls, nullptr, 0);
+    for (int i = 0; i < 100; ++i) ctx.send_past(c, cp.inc, nullptr, 0);
+  });
+  world.run();
+  EXPECT_NEAR(world.mean_utilization(), 1.0, 1e-9);
+  std::string table = world.utilization_table().to_string();
+  EXPECT_NE(table.find("100.0%"), std::string::npos);
+}
+
+TEST(Utilization, IdleNodesDragTheMeanDown) {
+  core::Program prog;
+  auto cp = apps::register_counter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 4;
+  World world(prog, cfg);
+  world.boot(0, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*cp.cls, nullptr, 0);
+    for (int i = 0; i < 100; ++i) ctx.send_past(c, cp.inc, nullptr, 0);
+  });
+  world.run();
+  EXPECT_LT(world.mean_utilization(), 0.5);
+  EXPECT_GT(world.mean_utilization(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,312 @@
+// Unit tests for the utility substrate: arena, pool allocator, intrusive
+// FIFO, RNG, statistics, table printer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "util/intrusive_list.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace abcl::util;
+
+// ---------------------------------------------------------------- Arena ----
+
+TEST(Arena, BasicAllocation) {
+  Arena a;
+  void* p1 = a.allocate(16);
+  void* p2 = a.allocate(16);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(a.bytes_allocated(), 32u);
+}
+
+TEST(Arena, Alignment) {
+  Arena a;
+  a.allocate(1);  // misalign the cursor
+  for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = a.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, LargeAllocationSpansBlocks) {
+  Arena a(4096);
+  void* p = a.allocate(1 << 20);  // much bigger than the block size
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 1 << 20);  // must be fully usable
+  EXPECT_GE(a.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(Arena, ManySmallAllocationsAllDistinct) {
+  Arena a(4096);
+  std::set<void*> seen;
+  for (int i = 0; i < 10000; ++i) {
+    void* p = a.allocate(24);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate pointer";
+  }
+}
+
+TEST(Arena, MakeConstructsObject) {
+  Arena a;
+  struct Pt {
+    int x, y;
+    Pt(int xx, int yy) : x(xx), y(yy) {}
+  };
+  Pt* p = a.make<Pt>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena a;
+  void* p = a.allocate(0);
+  EXPECT_NE(p, nullptr);
+}
+
+// ----------------------------------------------------------- Pool ----------
+
+TEST(Pool, SizeClassRounding) {
+  EXPECT_EQ(PoolAllocator::size_class(1), 0u);
+  EXPECT_EQ(PoolAllocator::size_class(32), 0u);
+  EXPECT_EQ(PoolAllocator::size_class(33), 1u);
+  EXPECT_EQ(PoolAllocator::size_class(64), 1u);
+  EXPECT_EQ(PoolAllocator::class_bytes(0), 32u);
+  EXPECT_EQ(PoolAllocator::class_bytes(1), 64u);
+}
+
+TEST(Pool, RecyclesExactClass) {
+  Arena a;
+  PoolAllocator pool(a);
+  void* p1 = pool.allocate(40);  // class 1 (64 B)
+  pool.deallocate(p1, 40);
+  void* p2 = pool.allocate(50);  // same class: must reuse p1
+  EXPECT_EQ(p1, p2);
+  void* p3 = pool.allocate(20);  // different class: must not reuse
+  EXPECT_NE(p1, p3);
+}
+
+TEST(Pool, LiveCountTracksAllocFree) {
+  Arena a;
+  PoolAllocator pool(a);
+  std::vector<void*> ps;
+  for (int i = 0; i < 100; ++i) ps.push_back(pool.allocate(64));
+  EXPECT_EQ(pool.live_count(), 100u);
+  for (void* p : ps) pool.deallocate(p, 64);
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(Pool, FreelistIsLifo) {
+  Arena a;
+  PoolAllocator pool(a);
+  void* p1 = pool.allocate(32);
+  void* p2 = pool.allocate(32);
+  pool.deallocate(p1, 32);
+  pool.deallocate(p2, 32);
+  EXPECT_EQ(pool.allocate(32), p2);
+  EXPECT_EQ(pool.allocate(32), p1);
+}
+
+// ------------------------------------------------------ IntrusiveFifo ------
+
+struct Node {
+  int v = 0;
+  Node* next = nullptr;
+};
+using Fifo = IntrusiveFifo<Node, &Node::next>;
+
+TEST(IntrusiveFifo, FifoOrder) {
+  Fifo q;
+  Node n[5];
+  for (int i = 0; i < 5; ++i) {
+    n[i].v = i;
+    q.push_back(&n[i]);
+  }
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    Node* p = q.pop_front();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->v, i);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop_front(), nullptr);
+}
+
+TEST(IntrusiveFifo, RemoveFirstIfHead) {
+  Fifo q;
+  Node n[3];
+  for (int i = 0; i < 3; ++i) {
+    n[i].v = i;
+    q.push_back(&n[i]);
+  }
+  Node* r = q.remove_first_if([](const Node& x) { return x.v == 0; });
+  EXPECT_EQ(r, &n[0]);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_front(), &n[1]);
+}
+
+TEST(IntrusiveFifo, RemoveFirstIfMiddleAndTail) {
+  Fifo q;
+  Node n[4];
+  for (int i = 0; i < 4; ++i) {
+    n[i].v = i;
+    q.push_back(&n[i]);
+  }
+  EXPECT_EQ(q.remove_first_if([](const Node& x) { return x.v == 2; }), &n[2]);
+  EXPECT_EQ(q.remove_first_if([](const Node& x) { return x.v == 3; }), &n[3]);
+  // Tail must be fixed up: pushing appends after n[1].
+  Node extra;
+  extra.v = 9;
+  q.push_back(&extra);
+  EXPECT_EQ(q.pop_front(), &n[0]);
+  EXPECT_EQ(q.pop_front(), &n[1]);
+  EXPECT_EQ(q.pop_front(), &extra);
+}
+
+TEST(IntrusiveFifo, RemoveFirstIfNoMatch) {
+  Fifo q;
+  Node a;
+  q.push_back(&a);
+  EXPECT_EQ(q.remove_first_if([](const Node&) { return false; }), nullptr);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(IntrusiveFifo, ReuseAfterPop) {
+  Fifo q;
+  Node a;
+  q.push_back(&a);
+  q.pop_front();
+  q.push_back(&a);  // node must be re-linkable
+  EXPECT_EQ(q.pop_front(), &a);
+}
+
+// ----------------------------------------------------------------- RNG -----
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 r1(42), r2(42), r3(43);
+  bool all_same = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    auto a = r1(), b = r2(), c = r3();
+    all_same = all_same && (a == b);
+    any_diff = any_diff || (a != c);
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowInRange) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Xoshiro256 r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// --------------------------------------------------------------- Stats -----
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(Log2Histogram, BucketsAndPercentile) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1);    // bucket for value 1
+  for (int i = 0; i < 100; ++i) h.add(1000);  // larger bucket
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_LE(h.percentile(0.25), 1u);
+  EXPECT_GE(h.percentile(0.9), 512u);
+}
+
+TEST(Log2Histogram, MergeAddsCounts) {
+  Log2Histogram a, b;
+  a.add(5);
+  b.add(5);
+  b.add(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+// --------------------------------------------------------------- Table -----
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"op", "us"});
+  t.add_row({"send", "2.30"});
+  t.add_row({"create", "2.10"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| op "), std::string::npos);
+  EXPECT_NE(s.find("2.30"), std::string::npos);
+  // Every line has the same width.
+  std::size_t w = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    std::size_t e = s.find('\n', pos);
+    EXPECT_EQ(e - pos, w);
+    pos = e + 1;
+  }
+}
+
+TEST(Table, NumGroupsThousands) {
+  EXPECT_EQ(Table::num(std::uint64_t{9349765}), "9,349,765");
+  EXPECT_EQ(Table::num(std::uint64_t{92}), "92");
+  EXPECT_EQ(Table::num(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(Table::num(2.345, 2), "2.35");
+}
+
+}  // namespace
