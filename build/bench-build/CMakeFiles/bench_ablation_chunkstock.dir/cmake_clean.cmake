@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chunkstock"
+  "../bench/bench_ablation_chunkstock.pdb"
+  "CMakeFiles/bench_ablation_chunkstock.dir/bench_ablation_chunkstock.cpp.o"
+  "CMakeFiles/bench_ablation_chunkstock.dir/bench_ablation_chunkstock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunkstock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_inline"
+  "../bench/bench_ablation_inline.pdb"
+  "CMakeFiles/bench_ablation_inline.dir/bench_ablation_inline.cpp.o"
+  "CMakeFiles/bench_ablation_inline.dir/bench_ablation_inline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fib_forkjoin.dir/fib_forkjoin.cpp.o"
+  "CMakeFiles/fib_forkjoin.dir/fib_forkjoin.cpp.o.d"
+  "fib_forkjoin"
+  "fib_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fib_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

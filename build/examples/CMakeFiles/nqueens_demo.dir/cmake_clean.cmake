@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqueens_demo.dir/nqueens_demo.cpp.o"
+  "CMakeFiles/nqueens_demo.dir/nqueens_demo.cpp.o.d"
+  "nqueens_demo"
+  "nqueens_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqueens_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abcl/class_def.cpp" "src/CMakeFiles/abclsim.dir/abcl/class_def.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/abcl/class_def.cpp.o.d"
+  "/root/repo/src/abcl/machine_api.cpp" "src/CMakeFiles/abclsim.dir/abcl/machine_api.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/abcl/machine_api.cpp.o.d"
+  "/root/repo/src/abcl/termination.cpp" "src/CMakeFiles/abclsim.dir/abcl/termination.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/abcl/termination.cpp.o.d"
+  "/root/repo/src/apps/buffer.cpp" "src/CMakeFiles/abclsim.dir/apps/buffer.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/buffer.cpp.o.d"
+  "/root/repo/src/apps/counters.cpp" "src/CMakeFiles/abclsim.dir/apps/counters.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/counters.cpp.o.d"
+  "/root/repo/src/apps/fib.cpp" "src/CMakeFiles/abclsim.dir/apps/fib.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/fib.cpp.o.d"
+  "/root/repo/src/apps/nqueens.cpp" "src/CMakeFiles/abclsim.dir/apps/nqueens.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/nqueens.cpp.o.d"
+  "/root/repo/src/apps/nqueens_seq.cpp" "src/CMakeFiles/abclsim.dir/apps/nqueens_seq.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/nqueens_seq.cpp.o.d"
+  "/root/repo/src/apps/pingpong.cpp" "src/CMakeFiles/abclsim.dir/apps/pingpong.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/pingpong.cpp.o.d"
+  "/root/repo/src/apps/sieve.cpp" "src/CMakeFiles/abclsim.dir/apps/sieve.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/apps/sieve.cpp.o.d"
+  "/root/repo/src/core/node_runtime.cpp" "src/CMakeFiles/abclsim.dir/core/node_runtime.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/core/node_runtime.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/CMakeFiles/abclsim.dir/core/pattern.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/core/pattern.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/CMakeFiles/abclsim.dir/core/program.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/core/program.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/abclsim.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/vft.cpp" "src/CMakeFiles/abclsim.dir/core/vft.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/core/vft.cpp.o.d"
+  "/root/repo/src/net/active_message.cpp" "src/CMakeFiles/abclsim.dir/net/active_message.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/net/active_message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/abclsim.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/abclsim.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/net/topology.cpp.o.d"
+  "/root/repo/src/remote/chunk_stock.cpp" "src/CMakeFiles/abclsim.dir/remote/chunk_stock.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/remote/chunk_stock.cpp.o.d"
+  "/root/repo/src/remote/placement.cpp" "src/CMakeFiles/abclsim.dir/remote/placement.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/remote/placement.cpp.o.d"
+  "/root/repo/src/remote/services.cpp" "src/CMakeFiles/abclsim.dir/remote/services.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/remote/services.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/abclsim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/abclsim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/util/arena.cpp" "src/CMakeFiles/abclsim.dir/util/arena.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/util/arena.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/abclsim.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/abclsim.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/abclsim.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

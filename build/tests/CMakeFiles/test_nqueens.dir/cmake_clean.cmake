@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nqueens.dir/test_nqueens.cpp.o"
+  "CMakeFiles/test_nqueens.dir/test_nqueens.cpp.o.d"
+  "test_nqueens"
+  "test_nqueens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nqueens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_create.dir/test_remote_create.cpp.o"
+  "CMakeFiles/test_remote_create.dir/test_remote_create.cpp.o.d"
+  "test_remote_create"
+  "test_remote_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reply.dir/test_reply.cpp.o"
+  "CMakeFiles/test_reply.dir/test_reply.cpp.o.d"
+  "test_reply"
+  "test_reply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sieve.dir/test_sieve.cpp.o"
+  "CMakeFiles/test_sieve.dir/test_sieve.cpp.o.d"
+  "test_sieve"
+  "test_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
