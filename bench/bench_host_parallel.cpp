@@ -1,0 +1,124 @@
+// Host-parallel driver speedup: wall-clock of Figure-5-style N-queens runs
+// (P in {64, 256, 512} simulated nodes), serial Machine vs ParallelMachine
+// at 1/2/4/8 host threads. Every configuration must produce the identical
+// solution count and modeled sim_time — the speedup is pure host-side.
+//
+// Machine-readable trajectory lands in BENCH_host_parallel.json (override
+// the path with ABCLSIM_BENCH_JSON). N defaults to 10; set
+// ABCLSIM_NQUEENS_N for other sizes. Note: the measured speedup is bounded
+// by physical cores — the JSON records host_cores so trajectories from
+// single-core CI boxes aren't misread as regressions.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/nqueens.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace abcl;
+
+struct Sample {
+  int nodes = 0;
+  int host_threads = 0;  // 0 = serial Machine
+  double wall_ms = 0.0;
+  std::int64_t solutions = 0;
+  sim::Instr sim_time = 0;
+  std::uint64_t quanta = 0;
+};
+
+Sample run_once(int nodes, int host_threads, const apps::NQueensParams& p) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.host_threads = host_threads == 0 ? -1 : host_threads;
+  World world(prog, cfg);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = apps::run_nqueens(world, np, p);
+  auto t1 = std::chrono::steady_clock::now();
+
+  Sample s;
+  s.nodes = nodes;
+  s.host_threads = host_threads;
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  s.solutions = r.solutions;
+  s.sim_time = r.sim_time;
+  s.quanta = r.rep.quanta;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // accepted for interface uniformity
+  bench::header("Host-parallel driver: N-queens wall-clock, serial vs threads");
+
+  const int n = bench::env_int("ABCLSIM_NQUEENS_N", 10);
+  const auto p = apps::NQueensParams::paper_calibrated(n);
+  const unsigned cores = std::thread::hardware_concurrency();
+  const int thread_counts[] = {0, 1, 2, 4, 8};  // 0 = serial Machine
+
+  std::printf("N = %d, host cores = %u\n", n, cores);
+  std::vector<Sample> samples;
+  bool identical = true;
+  for (int nodes : {64, 256, 512}) {
+    util::Table t({"P", "Driver", "Wall (ms)", "Speedup vs serial",
+                   "Solutions", "Sim time (instr)"});
+    double serial_ms = 0.0;
+    Sample serial{};
+    for (int ht : thread_counts) {
+      Sample s = run_once(nodes, ht, p);
+      samples.push_back(s);
+      if (ht == 0) {
+        serial_ms = s.wall_ms;
+        serial = s;
+      } else if (s.solutions != serial.solutions ||
+                 s.sim_time != serial.sim_time || s.quanta != serial.quanta) {
+        identical = false;
+        std::printf("DIVERGENCE at P=%d threads=%d!\n", nodes, ht);
+      }
+      t.add_row({std::to_string(nodes),
+                 ht == 0 ? "serial" : std::to_string(ht) + " threads",
+                 util::Table::num(s.wall_ms, 1),
+                 ht == 0 ? "1.00" : util::Table::num(serial_ms / s.wall_ms, 2),
+                 util::Table::num(static_cast<std::uint64_t>(s.solutions)),
+                 util::Table::num(static_cast<std::uint64_t>(s.sim_time))});
+    }
+    t.print();
+  }
+
+  const char* path = std::getenv("ABCLSIM_BENCH_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_host_parallel.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"host_parallel_nqueens\",\n");
+    std::fprintf(f, "  \"n\": %d,\n  \"host_cores\": %u,\n", n, cores);
+    std::fprintf(f, "  \"results_identical_across_drivers\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(f,
+                   "    {\"nodes\": %d, \"host_threads\": %d, "
+                   "\"wall_ms\": %.3f, \"solutions\": %lld, "
+                   "\"sim_time\": %llu, \"quanta\": %llu}%s\n",
+                   s.nodes, s.host_threads, s.wall_ms,
+                   static_cast<long long>(s.solutions),
+                   static_cast<unsigned long long>(s.sim_time),
+                   static_cast<unsigned long long>(s.quanta),
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+  } else {
+    std::printf("\ncould not open %s for writing\n", path);
+  }
+  return identical ? 0 : 1;
+}

@@ -1,8 +1,26 @@
 #include "abcl/machine_api.hpp"
 
+#include <cstdlib>
+#include <string>
+
+#include "sim/parallel_machine.hpp"
 #include "util/assert.hpp"
 
 namespace abcl {
+
+namespace {
+
+// WorldConfig.host_threads == 0 defers to the environment so any existing
+// binary can be parallelized without a rebuild: ABCLSIM_HOST_THREADS=8.
+int resolve_host_threads(int configured) {
+  if (configured != 0) return configured;
+  const char* env = std::getenv("ABCLSIM_HOST_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  int v = std::atoi(env);
+  return v < 0 ? 0 : v;
+}
+
+}  // namespace
 
 World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
   ABCL_CHECK_MSG(prog.finalized(), "finalize the Program before building a World");
@@ -23,7 +41,16 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
   std::vector<sim::NodeExec*> execs;
   execs.reserve(nodes_.size());
   for (auto& n : nodes_) execs.push_back(n.get());
-  machine_ = std::make_unique<sim::Machine>(std::move(execs));
+
+  int threads = resolve_host_threads(cfg_.host_threads);
+  if (threads >= 1) {
+    machine_ = std::make_unique<sim::ParallelMachine>(std::move(execs),
+                                                      net_.get(), threads);
+    host_threads_ = threads;
+  } else {
+    machine_ = std::make_unique<sim::Machine>(std::move(execs));
+    host_threads_ = 1;
+  }
 
   net_->set_on_deliverable(
       [m = machine_.get()](core::NodeId dst) { m->notify_work(dst); });
@@ -36,7 +63,7 @@ void World::boot(core::NodeId id,
 }
 
 RunReport World::run(sim::Instr max_time) {
-  sim::Machine::RunReport r = machine_->run(max_time);
+  sim::Driver::RunReport r = machine_->run(max_time);
   RunReport out;
   out.sim_time = r.end_time;
   out.quanta = r.quanta;

@@ -25,6 +25,12 @@ struct WorldConfig {
   core::NodeRuntime::Config node;
   remote::PlacementKind placement = remote::PlacementKind::kRoundRobin;
   std::uint64_t seed = 1;
+  // Host worker threads for the simulation driver. 0 = consult the
+  // ABCLSIM_HOST_THREADS environment variable (unset/empty/0 -> serial
+  // Machine); >= 1 = host-parallel ParallelMachine with that many workers;
+  // < 0 = force the serial Machine regardless of the environment. Results
+  // are bit-identical across all settings.
+  int host_threads = 0;
 };
 
 struct RunReport {
@@ -45,8 +51,10 @@ class World {
     return *nodes_[static_cast<std::size_t>(id)];
   }
   net::Network& network() { return *net_; }
-  sim::Machine& machine() { return *machine_; }
+  sim::Driver& machine() { return *machine_; }
   const WorldConfig& config() const { return cfg_; }
+  // Host worker threads actually driving the simulation (1 = serial).
+  int host_threads() const { return host_threads_; }
 
   // Runs `fn` as bootstrap code on `node` (typically: create the root
   // objects and send the first messages).
@@ -79,7 +87,8 @@ class World {
   core::Program* prog_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<core::NodeRuntime>> nodes_;
-  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<sim::Driver> machine_;
+  int host_threads_ = 1;
 };
 
 }  // namespace abcl

@@ -55,9 +55,15 @@ void NodeRuntime::step() {
   ++quanta_run_;
   trace(sim::TraceEv::kQuantum);
 
+  // Poll against the quantum-start clock, not the growing clock_: a packet
+  // that arrives mid-quantum (while handlers charge instructions) is picked
+  // up by a later quantum. This makes a quantum's inputs a pure function of
+  // the pre-quantum state, which is what lets the host-parallel driver run
+  // whole lookahead windows of quanta concurrently yet bit-identically.
   net::Packet pkt;
   int handled = 0;
-  while (handled < cfg_.max_packets_per_quantum && net_->poll(id_, clock_, pkt)) {
+  while (handled < cfg_.max_packets_per_quantum &&
+         net_->poll(id_, quantum_start_clock_, pkt)) {
     charge(cm_->recv_handler);
     stats_.remote_recv += 1;
     trace(sim::TraceEv::kRecvRemote);

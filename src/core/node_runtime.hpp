@@ -230,6 +230,11 @@ class NodeRuntime final : public sim::NodeExec {
 
   // Optional execution tracing (one branch per hot-path event when unset).
   void set_tracer(sim::Tracer* t) { tracer_ = t; }
+  sim::Tracer* swap_tracer(sim::Tracer* t) override {
+    sim::Tracer* old = tracer_;
+    tracer_ = t;
+    return old;
+  }
   void trace(sim::TraceEv ev) {
     if (tracer_ != nullptr) tracer_->record(clock_, id_, ev);
   }

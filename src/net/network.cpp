@@ -1,11 +1,22 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace abcl::net {
 
 namespace {
 constexpr std::int32_t kMatrixNodeLimit = 1024;  // 1024^2 * 8 B = 8 MiB
+constexpr int kMinWireWords = 4;                 // header-only packet
+}
+
+void Network::Stats::merge(const Stats& o) {
+  packets += o.packets;
+  payload_words += o.payload_words;
+  wire_words += o.wire_words;
+  for (int i = 0; i < 4; ++i) per_category[i] += o.per_category[i];
+  wire_latency_instr.merge(o.wire_latency_instr);
 }
 
 Network::Network(Topology topology, const sim::CostModel* cm,
@@ -14,7 +25,9 @@ Network::Network(Topology topology, const sim::CostModel* cm,
       cm_(cm),
       on_deliverable_(std::move(on_deliverable)),
       queues_(static_cast<std::size_t>(topology_.num_nodes())),
-      use_matrix_(topology_.num_nodes() <= kMatrixNodeLimit) {
+      use_matrix_(topology_.num_nodes() <= kMatrixNodeLimit),
+      src_seq_(static_cast<std::size_t>(topology_.num_nodes()), 0),
+      outboxes_(static_cast<std::size_t>(topology_.num_nodes()), nullptr) {
   ABCL_CHECK(cm_ != nullptr);
   ABCL_CHECK_MSG(cm_->wire_latency + cm_->per_hop > 0,
                  "network lookahead must be positive for the PDES driver");
@@ -38,10 +51,23 @@ sim::Instr& Network::channel_floor(NodeId src, NodeId dst) {
   return channel_map_[key];
 }
 
+sim::Instr Network::min_packet_latency() const {
+  sim::Instr wire = cm_->wire_latency +
+                    static_cast<sim::Instr>(kMinWireWords) * cm_->per_word;
+  return wire == 0 ? 1 : wire;
+}
+
 void Network::send(Packet&& p, AmCategory category) {
   ABCL_CHECK(p.dst >= 0 && p.dst < topology_.num_nodes());
   ABCL_CHECK(p.src >= 0 && p.src < topology_.num_nodes());
+  if (Outbox* ob = outboxes_[static_cast<std::size_t>(p.src)]) {
+    ob->items_.push_back({std::move(p), category, ob->current_key_});
+    return;
+  }
+  commit(std::move(p), category);
+}
 
+void Network::commit(Packet&& p, AmCategory category) {
   std::int32_t hops = topology_.hops(p.src, p.dst);
   sim::Instr wire = cm_->wire_latency +
                     static_cast<sim::Instr>(hops) * cm_->per_hop +
@@ -56,7 +82,7 @@ void Network::send(Packet&& p, AmCategory category) {
   floor = arrive;
 
   p.arrive_time = arrive;
-  p.seq = next_seq_++;
+  p.seq = src_seq_[static_cast<std::size_t>(p.src)]++;
 
   stats_.packets += 1;
   stats_.payload_words += p.nwords;
@@ -66,8 +92,30 @@ void Network::send(Packet&& p, AmCategory category) {
 
   NodeId dst = p.dst;
   queues_[static_cast<std::size_t>(dst)].push(std::move(p));
-  ++in_flight_;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (on_deliverable_) on_deliverable_(dst);
+}
+
+void Network::set_outbox(NodeId src, Outbox* ob) {
+  ABCL_CHECK(src >= 0 && src < topology_.num_nodes());
+  outboxes_[static_cast<std::size_t>(src)] = ob;
+}
+
+void Network::flush_outboxes(Outbox* const* boxes, std::size_t nboxes) {
+  merge_.clear();
+  for (std::size_t i = 0; i < nboxes; ++i) {
+    for (Outbox::Item& it : boxes[i]->items_) merge_.push_back(std::move(it));
+    boxes[i]->items_.clear();
+  }
+  // Canonical order: (quantum key, src) ascending; a stable sort keeps each
+  // source's program order, since one source lives in exactly one outbox.
+  std::stable_sort(merge_.begin(), merge_.end(),
+                   [](const Outbox::Item& a, const Outbox::Item& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.pkt.src < b.pkt.src;
+                   });
+  for (Outbox::Item& it : merge_) commit(std::move(it.pkt), it.cat);
+  merge_.clear();
 }
 
 bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
@@ -75,7 +123,7 @@ bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
   if (q.empty() || q.top().arrive_time > now) return false;
   out = q.top();
   q.pop();
-  --in_flight_;
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -4,15 +4,27 @@
 // wire_words * per_word, clamped so arrivals on each (src,dst) channel are
 // nondecreasing — the paper's "preservation of transmission order" between
 // a fixed sender/receiver pair. Per destination, packets are delivered in
-// (arrive_time, seq) order, so the whole simulation is deterministic.
+// (arrive_time, src, src_seq) order — all simulated quantities — so delivery
+// is deterministic no matter which host driver (serial or parallel) issued
+// the sends, and same-instant arrivals from different sources are ordered by
+// source id rather than by host-side send call order.
 //
 // The sender's software setup cost and the receiver's handler cost are NOT
 // part of wire latency; the core runtime charges those to the node clocks
 // (send_setup before send(), recv_handler at poll time), mirroring the
 // paper's breakdown: ~20 sender instructions + ~1.5 us wire each way +
 // ~50 receiver instructions.
+//
+// Host-parallel support: during a ParallelMachine time window each worker
+// thread redirects its nodes' sends into a private Outbox (set_outbox);
+// flush_outboxes commits them at the window barrier in the serial driver's
+// canonical order (quantum key, src, program order), so seqs, channel
+// floors, and Stats are bit-identical to a serial run. Destination queues
+// are only popped by the worker that owns the destination node, so the only
+// send/poll-shared word is the in-flight count, which is atomic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -35,6 +47,31 @@ class Network {
     std::uint64_t wire_words = 0;
     std::uint64_t per_category[4] = {};
     util::RunningStat wire_latency_instr;
+
+    // Accumulates `o` into this block (counters add, the latency stat
+    // merges); lets per-shard accumulations be combined into exact totals.
+    void merge(const Stats& o);
+  };
+
+  // A per-worker send buffer for the host-parallel driver. Appends are made
+  // by exactly one worker thread; commit order is reconstructed from the
+  // quantum key stamped on each item.
+  class Outbox {
+   public:
+    // Key of the quantum currently executing; stamped on subsequent sends.
+    void set_current_key(sim::Instr k) { current_key_ = k; }
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+
+   private:
+    friend class Network;
+    struct Item {
+      Packet pkt;
+      AmCategory cat;
+      sim::Instr key;  // quantum key of the send (canonical-order sort key)
+    };
+    std::vector<Item> items_;
+    sim::Instr current_key_ = 0;
   };
 
   // on_deliverable(dst) fires whenever a packet is enqueued toward dst; the
@@ -49,8 +86,18 @@ class Network {
   const Topology& topology() const { return topology_; }
 
   // Sends `p` (src/dst/handler/payload/send_time filled by the caller,
-  // category recorded for stats). Computes arrive_time and seq.
+  // category recorded for stats). Computes arrive_time and seq — or, when an
+  // outbox is installed for p.src, buffers the packet for flush_outboxes.
   void send(Packet&& p, AmCategory category);
+
+  // Redirects sends with src == `src` into `ob` (nullptr restores the
+  // direct path). Only the parallel driver installs these, around a run.
+  void set_outbox(NodeId src, Outbox* ob);
+
+  // Commits every buffered send in canonical order — ascending (quantum
+  // key, src), preserving each source's program order — which is exactly
+  // the order the serial driver would have issued them.
+  void flush_outboxes(Outbox* const* boxes, std::size_t nboxes);
 
   // Pops the next packet for `dst` with arrive_time <= now, or nullptr-like
   // false if none. Out-of-order across channels never happens because the
@@ -60,20 +107,29 @@ class Network {
   // Earliest pending arrival for `dst`, or kInstrInf.
   sim::Instr next_arrival(NodeId dst) const;
 
-  bool idle() const { return in_flight_ == 0; }
-  std::uint64_t in_flight() const { return in_flight_; }
+  // A strictly positive lower bound on any packet's priced latency: the
+  // parallel driver's lookahead. (Every packet carries >= 4 header words
+  // and hops >= 0; send() clamps zero wire latency up to 1.)
+  sim::Instr min_packet_latency() const;
+
+  bool idle() const { return in_flight_.load(std::memory_order_relaxed) == 0; }
+  std::uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
   const Stats& stats() const { return stats_; }
 
  private:
   struct PacketOrder {
     bool operator()(const Packet& a, const Packet& b) const {
-      return a.arrive_time != b.arrive_time ? a.arrive_time > b.arrive_time
-                                            : a.seq > b.seq;
+      if (a.arrive_time != b.arrive_time) return a.arrive_time > b.arrive_time;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
     }
   };
   using DstQueue = std::priority_queue<Packet, std::vector<Packet>, PacketOrder>;
 
   sim::Instr& channel_floor(NodeId src, NodeId dst);
+  void commit(Packet&& p, AmCategory category);
 
   Topology topology_;
   const sim::CostModel* cm_;
@@ -84,8 +140,10 @@ class Network {
   std::vector<sim::Instr> channel_matrix_;
   std::unordered_map<std::uint64_t, sim::Instr> channel_map_;
   bool use_matrix_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t in_flight_ = 0;
+  std::vector<std::uint64_t> src_seq_;
+  std::vector<Outbox*> outboxes_;     // per-src redirect; nullptr = direct
+  std::vector<Outbox::Item> merge_;   // flush scratch (reused allocation)
+  std::atomic<std::uint64_t> in_flight_{0};
   Stats stats_;
 };
 

@@ -26,7 +26,11 @@ struct Packet {
   std::int32_t dst = -1;
   Instr send_time = 0;
   Instr arrive_time = 0;
-  std::uint64_t seq = 0;  // global send order; FIFO tiebreaker
+  // Per-source send order: the number of packets this src had sent before
+  // this one. Same-instant arrivals at a destination are delivered in
+  // (arrive_time, src, seq) order — a function of simulated quantities only,
+  // never of the host driver's execution interleaving.
+  std::uint64_t seq = 0;
   std::uint8_t nwords = 0;
   Word payload[kMaxPacketWords] = {};
 

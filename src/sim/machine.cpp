@@ -4,12 +4,15 @@
 
 namespace abcl::sim {
 
-Machine::Machine(std::vector<NodeExec*> nodes) : nodes_(std::move(nodes)) {
-  heap_key_.assign(nodes_.size(), kInstrInf);
+Driver::Driver(std::vector<NodeExec*> nodes) : nodes_(std::move(nodes)) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     ABCL_CHECK(nodes_[i] != nullptr);
     ABCL_CHECK(nodes_[i]->node_id() == static_cast<NodeId>(i));
   }
+}
+
+Machine::Machine(std::vector<NodeExec*> nodes) : Driver(std::move(nodes)) {
+  heap_key_.assign(nodes_.size(), kInstrInf);
 }
 
 Instr Machine::effective_key(NodeExec& n) const {

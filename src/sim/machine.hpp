@@ -1,12 +1,16 @@
-// Conservative discrete-event driver for the simulated multicomputer.
+// Conservative discrete-event drivers for the simulated multicomputer.
 //
 // Each node is a single-threaded processor with its own instruction clock.
-// The driver always executes the runnable node with the globally smallest
-// clock (ties broken by node id), which is safe because every packet has
-// strictly positive latency (lookahead): no node with a larger clock can
-// retroactively deliver work into the past of the node being run. Idle
-// nodes' clocks jump forward to their next packet arrival. The run ends at
-// quiescence: no node runnable and no packet in flight.
+// The serial `Machine` always executes the runnable node with the globally
+// smallest clock (ties broken by node id), which is safe because every
+// packet has strictly positive latency (lookahead): no node with a larger
+// clock can retroactively deliver work into the past of the node being run.
+// Idle nodes' clocks jump forward to their next packet arrival. The run
+// ends at quiescence: no node runnable and no packet in flight.
+//
+// `ParallelMachine` (parallel_machine.hpp) is a drop-in `Driver` that runs
+// whole time windows of nodes concurrently on host threads while producing
+// bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,8 @@
 namespace abcl::sim {
 
 using NodeId = std::int32_t;
+
+class Tracer;
 
 // Implemented by core::NodeRuntime. One step() executes one scheduling
 // quantum (drain arrived packets, then run one scheduling-queue item or one
@@ -42,30 +48,49 @@ class NodeExec {
 
   // Run one quantum. Precondition: runnable().
   virtual void step() = 0;
+
+  // Replace the node's attached tracer, returning the previous one. The
+  // host-parallel driver uses this to interpose per-worker trace buffers.
+  // Default: no tracing support.
+  virtual Tracer* swap_tracer(Tracer*) { return nullptr; }
 };
 
-class Machine {
+// Common driver interface: the abcl::World runs its nodes through one of
+// these. The network's on_deliverable callback must call notify_work.
+class Driver {
  public:
   struct RunReport {
     Instr end_time = 0;        // max node clock at quiescence
     std::uint64_t quanta = 0;  // total step() invocations
   };
 
-  explicit Machine(std::vector<NodeExec*> nodes);
+  explicit Driver(std::vector<NodeExec*> nodes);
+  virtual ~Driver() = default;
 
   // Must be called (e.g. by the network) whenever new work is scheduled for
   // `dst` — a packet enqueued or a cross-layer wakeup — so the driver can
-  // re-evaluate the node's position in the ready heap.
-  void notify_work(NodeId dst);
+  // re-evaluate the node's readiness.
+  virtual void notify_work(NodeId dst) = 0;
 
   // Runs until quiescence (or until `max_time` if given). Returns a report.
-  RunReport run(Instr max_time = kInstrInf);
-
-  // Single-step variant for tests: runs at most `max_quanta` quanta.
-  RunReport run_quanta(std::uint64_t max_quanta);
+  virtual RunReport run(Instr max_time = kInstrInf) = 0;
 
   NodeExec* node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
   std::size_t num_nodes() const { return nodes_.size(); }
+
+ protected:
+  std::vector<NodeExec*> nodes_;
+};
+
+class Machine : public Driver {
+ public:
+  explicit Machine(std::vector<NodeExec*> nodes);
+
+  void notify_work(NodeId dst) override;
+  RunReport run(Instr max_time = kInstrInf) override;
+
+  // Single-step variant for tests: runs at most `max_quanta` quanta.
+  RunReport run_quanta(std::uint64_t max_quanta);
 
  private:
   struct HeapEntry {
@@ -80,7 +105,6 @@ class Machine {
   void push_node(NodeId id);
   RunReport run_impl(Instr max_time, std::uint64_t max_quanta);
 
-  std::vector<NodeExec*> nodes_;
   // best key currently present in the heap per node; kInstrInf = absent.
   std::vector<Instr> heap_key_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>

@@ -1,0 +1,212 @@
+#include "sim/parallel_machine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace abcl::sim {
+
+ParallelMachine::ParallelMachine(std::vector<NodeExec*> nodes,
+                                 net::Network* net, int num_threads)
+    : Driver(std::move(nodes)),
+      net_(net),
+      lookahead_(net != nullptr ? net->min_packet_latency() : 1),
+      workers_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)) {
+  ABCL_CHECK(lookahead_ > 0);
+  // Static round-robin shard: node i -> worker i mod T. Any fixed
+  // assignment preserves determinism; round-robin balances the common case
+  // where load correlates with id ranges.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    workers_[i % workers_.size()].shard.push_back(static_cast<NodeId>(i));
+  }
+}
+
+ParallelMachine::~ParallelMachine() {
+  ABCL_CHECK(threads_.empty());  // threads only live inside run()
+}
+
+Instr ParallelMachine::effective_key(NodeExec& n) const {
+  if (n.runnable()) return n.clock();
+  return n.next_wake();  // kInstrInf when idle with nothing in flight
+}
+
+void ParallelMachine::run_shard(Worker& w) {
+  const Instr horizon = window_horizon_;
+  const Instr max_time = window_max_time_;
+  Instr shard_min = kInstrInf;
+  for (NodeId id : w.shard) {
+    NodeExec& n = *nodes_[static_cast<std::size_t>(id)];
+    Instr key;
+    while (true) {
+      key = effective_key(n);
+      if (key >= horizon || key > max_time) break;
+      if (n.clock() < key) n.advance_clock(key);
+      w.outbox.set_current_key(key);
+      w.traces.set_current_key(key);
+      n.step();
+      ++w.quanta;
+    }
+    // The break-time key is the node's final key for this window: nothing
+    // else touches the node until the flush, whose deliveries are folded in
+    // via notify_work.
+    if (key < shard_min) shard_min = key;
+  }
+  w.shard_min = shard_min;
+}
+
+void ParallelMachine::worker_main(Worker& w) {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::uint64_t e;
+    int spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (++spins >= 4096) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    seen = e;
+    if (stop_.load(std::memory_order_acquire)) return;
+    run_shard(w);
+    w.done.store(e, std::memory_order_release);
+  }
+}
+
+void ParallelMachine::flush_window() {
+  if (net_ != nullptr) {
+    // Commit every buffered send in canonical (quantum key, src) order —
+    // the exact order the serial driver would have issued them.
+    if (outbox_ptrs_.empty()) {
+      for (auto& w : workers_) outbox_ptrs_.push_back(&w.outbox);
+    }
+    net_->flush_outboxes(outbox_ptrs_.data(), outbox_ptrs_.size());
+  }
+
+  trace_merge_.clear();
+  for (auto& w : workers_) {
+    trace_merge_.insert(trace_merge_.end(), w.traces.items_.begin(),
+                        w.traces.items_.end());
+    w.traces.items_.clear();
+  }
+  if (!trace_merge_.empty()) {
+    // Serial execution order is ascending (quantum key, node); each node's
+    // events live in one worker's buffer in program order, which the stable
+    // sort preserves.
+    std::stable_sort(trace_merge_.begin(), trace_merge_.end(),
+                     [](const WindowTraceBuffer::Tagged& a,
+                        const WindowTraceBuffer::Tagged& b) {
+                       if (a.key != b.key) return a.key < b.key;
+                       return a.ev.node < b.ev.node;
+                     });
+    for (const auto& t : trace_merge_) {
+      Tracer* dst = saved_tracers_[static_cast<std::size_t>(t.ev.node)];
+      if (dst != nullptr) dst->record(t.ev.t, t.ev.node, t.ev.kind);
+    }
+    trace_merge_.clear();
+  }
+}
+
+void ParallelMachine::notify_work(NodeId dst) {
+  Instr k = effective_key(*nodes_[static_cast<std::size_t>(dst)]);
+  if (k < notified_min_) notified_min_ = k;
+}
+
+Driver::RunReport ParallelMachine::run(Instr max_time) {
+  // Interpose per-worker outboxes and trace buffers. Nodes without a tracer
+  // keep none (recording into a buffer nobody replays would cost time).
+  saved_tracers_.assign(nodes_.size(), nullptr);
+  for (auto& w : workers_) {
+    w.quanta = 0;
+    for (NodeId id : w.shard) {
+      NodeExec& n = *nodes_[static_cast<std::size_t>(id)];
+      Tracer* old = n.swap_tracer(&w.traces);
+      if (old == nullptr) {
+        n.swap_tracer(nullptr);
+      } else {
+        saved_tracers_[static_cast<std::size_t>(id)] = old;
+      }
+      if (net_ != nullptr) net_->set_outbox(id, &w.outbox);
+    }
+  }
+
+  const bool threaded = workers_.size() > 1;
+  if (threaded) {
+    epoch_.store(0, std::memory_order_relaxed);
+    stop_.store(false, std::memory_order_relaxed);
+    for (auto& w : workers_) w.done.store(0, std::memory_order_relaxed);
+    threads_.reserve(workers_.size());
+    for (auto& w : workers_) {
+      threads_.emplace_back([this, &w] { worker_main(w); });
+    }
+  }
+
+  // One full scan seeds the window loop; afterwards the next window's floor
+  // is maintained incrementally — each worker reports its shard's min key
+  // (O(P/T) in parallel instead of an O(P) serial rescan) and flush-time
+  // deliveries fold in through notify_work.
+  Instr min_key = kInstrInf;
+  for (NodeExec* n : nodes_) {
+    Instr k = effective_key(*n);
+    if (k < min_key) min_key = k;
+  }
+
+  while (min_key != kInstrInf && min_key <= max_time) {
+    window_horizon_ = (min_key > kInstrInf - lookahead_) ? kInstrInf
+                                                         : min_key + lookahead_;
+    window_max_time_ = max_time;
+
+    if (threaded) {
+      std::uint64_t e = epoch_.fetch_add(1, std::memory_order_release) + 1;
+      for (auto& w : workers_) {
+        int spins = 0;
+        while (w.done.load(std::memory_order_acquire) != e) {
+          if (++spins >= 4096) {
+            std::this_thread::yield();
+            spins = 0;
+          }
+        }
+      }
+    } else {
+      run_shard(workers_[0]);
+    }
+
+    notified_min_ = kInstrInf;
+    flush_window();
+    ++windows_;
+
+    min_key = notified_min_;
+    for (auto& w : workers_) {
+      if (w.shard_min < min_key) min_key = w.shard_min;
+    }
+  }
+
+  if (threaded) {
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  // Restore tracers and the direct send path.
+  for (auto& w : workers_) {
+    for (NodeId id : w.shard) {
+      NodeExec& n = *nodes_[static_cast<std::size_t>(id)];
+      if (Tracer* orig = saved_tracers_[static_cast<std::size_t>(id)]) {
+        n.swap_tracer(orig);
+      }
+      if (net_ != nullptr) net_->set_outbox(id, nullptr);
+    }
+  }
+
+  RunReport rep;
+  for (auto& w : workers_) {
+    rep.quanta += w.quanta;
+  }
+  quanta_ += rep.quanta;
+  for (NodeExec* n : nodes_) {
+    if (n->clock() > rep.end_time) rep.end_time = n->clock();
+  }
+  return rep;
+}
+
+}  // namespace abcl::sim

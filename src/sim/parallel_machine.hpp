@@ -1,0 +1,117 @@
+// Host-parallel conservative PDES driver.
+//
+// Bounded-window synchronization: each round computes
+//   horizon = min(effective key over all nodes) + lookahead
+// where lookahead is the minimum positive latency any packet can have
+// (net::Network::min_packet_latency). Every quantum with key < horizon is
+// independent of every send issued inside the window — such a send arrives
+// at >= min_key + lookahead = horizon — so a fixed pool of worker threads
+// executes all of them concurrently, each node statically sharded to one
+// worker (node id mod thread count).
+//
+// Determinism: workers never touch the shared network state. Sends are
+// buffered into per-worker outboxes, stamped with the issuing quantum's
+// key, and committed at the window barrier in canonical order — ascending
+// (quantum key, src), preserving per-node program order — which is exactly
+// the order the serial Machine would have issued them. Seq numbers, channel
+// floors, Network::Stats (Welford updates included), and trace output are
+// therefore bit-identical to a serial run at any thread count. Trace events
+// are likewise buffered per worker and replayed sorted by (quantum key,
+// node) into the originally attached tracers.
+//
+// Thread-safety partition during a window: a worker touches only its own
+// nodes' state, those nodes' destination queues (poll side), its own outbox
+// and trace buffer. The one shared mutable word is the network's in-flight
+// counter, which is atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace.hpp"
+
+namespace abcl::sim {
+
+class ParallelMachine : public Driver {
+ public:
+  // `net` may be nullptr for driver-only unit tests (lookahead falls back
+  // to 1 and sends are not redirected). `num_threads` is clamped to >= 1.
+  ParallelMachine(std::vector<NodeExec*> nodes, net::Network* net,
+                  int num_threads);
+  ~ParallelMachine() override;
+
+  // Only ever invoked on the coordinator thread (commits happen at window
+  // barriers or outside run()); folds the destination's new key into the
+  // running minimum for the next window. Arrivals only lower next_wake, so
+  // min over notification-time keys equals the post-flush key.
+  void notify_work(NodeId dst) override;
+  RunReport run(Instr max_time = kInstrInf) override;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  // Tracer interposer: tags each event with the key of the quantum that
+  // produced it so the barrier replay can reconstruct serial order.
+  class WindowTraceBuffer final : public Tracer {
+   public:
+    WindowTraceBuffer() : Tracer(1) {}
+    void set_current_key(Instr k) { key_ = k; }
+    void record(Instr t, NodeId node, TraceEv kind) override {
+      items_.push_back({key_, Event{t, node, kind}});
+    }
+
+    struct Tagged {
+      Instr key;
+      Event ev;
+    };
+    std::vector<Tagged> items_;
+
+   private:
+    Instr key_ = 0;
+  };
+
+  struct Worker {
+    std::vector<NodeId> shard;
+    net::Network::Outbox outbox;
+    WindowTraceBuffer traces;
+    std::uint64_t quanta = 0;
+    // Min effective key across the shard after the window's execution
+    // (published to the coordinator by the release-store on `done`).
+    Instr shard_min = kInstrInf;
+    std::atomic<std::uint64_t> done{0};
+  };
+
+  Instr effective_key(NodeExec& n) const;
+  void run_shard(Worker& w);
+  void worker_main(Worker& w);
+  void flush_window();
+
+  net::Network* net_;
+  Instr lookahead_;
+  std::vector<Worker> workers_;
+
+  // Window parameters, written by the coordinator before it releases an
+  // epoch; the release/acquire pair on epoch_ publishes them.
+  Instr window_horizon_ = 0;
+  Instr window_max_time_ = kInstrInf;
+
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+
+  // Replay scratch + original tracers saved across a run() while buffers
+  // are interposed (index = node id; nullptr = node had no tracer).
+  std::vector<net::Network::Outbox*> outbox_ptrs_;
+  std::vector<WindowTraceBuffer::Tagged> trace_merge_;
+  std::vector<Tracer*> saved_tracers_;
+  Instr notified_min_ = kInstrInf;  // min key among flush-time deliveries
+  std::uint64_t windows_ = 0;
+  std::uint64_t quanta_ = 0;
+};
+
+}  // namespace abcl::sim

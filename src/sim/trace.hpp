@@ -45,8 +45,11 @@ class Tracer {
   };
 
   explicit Tracer(std::size_t capacity = 1u << 16) : ring_(capacity) {}
+  virtual ~Tracer() = default;
 
-  void record(Instr t, NodeId node, TraceEv kind) {
+  // Virtual so the host-parallel driver can interpose a per-worker buffer
+  // that replays into the real tracer in canonical order at window barriers.
+  virtual void record(Instr t, NodeId node, TraceEv kind) {
     Event& e = ring_[head_];
     e.t = t;
     e.node = node;

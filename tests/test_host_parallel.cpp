@@ -1,0 +1,204 @@
+// Cross-driver determinism: the same program + seed must produce
+// bit-identical traces, reports, app results, and network stats whether the
+// world is driven by the serial Machine or by ParallelMachine at any host
+// thread count. These are the contract tests for the bounded-window
+// conservative-PDES driver (see DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "apps/nqueens.hpp"
+#include "apps/pingpong.hpp"
+#include "apps/sieve.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace abcl;
+
+// kSerial forces the serial Machine regardless of ABCLSIM_HOST_THREADS;
+// positive values force a ParallelMachine with that many workers.
+constexpr int kSerial = -1;
+const int kThreadCounts[] = {1, 2, 8};
+
+struct Fingerprint {
+  std::vector<std::tuple<sim::Instr, NodeId, int>> trace;
+  std::uint64_t trace_total = 0;
+  sim::Instr sim_time = 0;
+  std::uint64_t quanta = 0;
+  std::int64_t value = 0;  // app-specific result (solutions, primes, bounces)
+
+  std::uint64_t packets = 0, payload_words = 0, wire_words = 0;
+  std::uint64_t per_category[4] = {};
+  std::uint64_t lat_n = 0;
+  double lat_mean = 0, lat_var = 0, lat_min = 0, lat_max = 0;
+
+  std::uint64_t local_sends = 0, remote_sends = 0, sched_dispatches = 0;
+  std::uint64_t stock_hits = 0, blocks_await = 0, created = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+void capture(World& world, const sim::Tracer& tracer, Fingerprint& fp) {
+  for (const auto& ev : tracer.snapshot()) {
+    fp.trace.emplace_back(ev.t, ev.node, static_cast<int>(ev.kind));
+  }
+  fp.trace_total = tracer.total_recorded();
+  const net::Network::Stats& ns = world.network().stats();
+  fp.packets = ns.packets;
+  fp.payload_words = ns.payload_words;
+  fp.wire_words = ns.wire_words;
+  for (int c = 0; c < 4; ++c) fp.per_category[c] = ns.per_category[c];
+  fp.lat_n = ns.wire_latency_instr.count();
+  fp.lat_mean = ns.wire_latency_instr.mean();
+  fp.lat_var = ns.wire_latency_instr.variance();
+  fp.lat_min = ns.wire_latency_instr.min();
+  fp.lat_max = ns.wire_latency_instr.max();
+  core::NodeStats s = world.total_stats();
+  fp.local_sends = s.local_sends;
+  fp.remote_sends = s.remote_sends;
+  fp.sched_dispatches = s.sched_dispatches;
+  fp.stock_hits = s.chunk_stock_hits;
+  fp.blocks_await = s.blocks_await;
+  fp.created = world.total_created_objects();
+}
+
+Fingerprint run_nqueens_fp(int host_threads, int nodes, int n) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.host_threads = host_threads;
+  World world(prog, cfg);
+  sim::Tracer tracer(1u << 20);
+  world.attach_tracer(&tracer);
+  auto r = apps::run_nqueens(world, np, apps::NQueensParams::paper_calibrated(n));
+  Fingerprint fp;
+  fp.sim_time = r.sim_time;
+  fp.quanta = r.rep.quanta;
+  fp.value = r.solutions;
+  capture(world, tracer, fp);
+  return fp;
+}
+
+Fingerprint run_sieve_fp(int host_threads, int nodes, std::int64_t limit) {
+  core::Program prog;
+  auto sp = apps::register_sieve(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.host_threads = host_threads;
+  World world(prog, cfg);
+  sim::Tracer tracer(1u << 20);
+  world.attach_tracer(&tracer);
+  auto r = apps::run_sieve(world, sp, limit);
+  Fingerprint fp;
+  fp.sim_time = r.rep.sim_time;
+  fp.quanta = r.rep.quanta;
+  fp.value = r.primes;
+  capture(world, tracer, fp);
+  return fp;
+}
+
+Fingerprint run_pingpong_fp(int host_threads, int nodes, std::uint64_t rounds) {
+  core::Program prog;
+  auto pp = apps::register_pingpong(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = nodes;
+  cfg.host_threads = host_threads;
+  World world(prog, cfg);
+  sim::Tracer tracer(1u << 18);
+  world.attach_tracer(&tracer);
+  auto r = apps::run_pingpong(world, pp, 0, nodes - 1, rounds);
+  Fingerprint fp;
+  fp.sim_time = r.sim_time;
+  fp.value = static_cast<std::int64_t>(r.bounces);
+  capture(world, tracer, fp);
+  return fp;
+}
+
+// Readable failure output: name the first differing field.
+void expect_identical(const Fingerprint& serial, const Fingerprint& par,
+                      int threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_EQ(par.value, serial.value);
+  EXPECT_EQ(par.sim_time, serial.sim_time);
+  EXPECT_EQ(par.quanta, serial.quanta);
+  EXPECT_EQ(par.trace_total, serial.trace_total);
+  EXPECT_EQ(par.packets, serial.packets);
+  EXPECT_EQ(par.lat_mean, serial.lat_mean);
+  EXPECT_EQ(par.lat_var, serial.lat_var);
+  EXPECT_EQ(par.local_sends, serial.local_sends);
+  EXPECT_EQ(par.remote_sends, serial.remote_sends);
+  EXPECT_EQ(par.sched_dispatches, serial.sched_dispatches);
+  ASSERT_EQ(par.trace.size(), serial.trace.size());
+  for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+    ASSERT_EQ(par.trace[i], serial.trace[i]) << "first divergent event " << i;
+  }
+  EXPECT_TRUE(par == serial);  // any field the above missed
+}
+
+class NQueensCrossDriver : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(NQueensCrossDriver, BitIdenticalAtEveryThreadCount) {
+  auto [nodes, n] = GetParam();
+  Fingerprint serial = run_nqueens_fp(kSerial, nodes, n);
+  EXPECT_GT(serial.value, 0);
+  for (int t : kThreadCounts) {
+    expect_identical(serial, run_nqueens_fp(t, nodes, n), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, NQueensCrossDriver,
+                         ::testing::Values(std::tuple{16, 8}, std::tuple{64, 9},
+                                           std::tuple{64, 10}));
+
+TEST(SieveCrossDriver, BitIdenticalAtEveryThreadCount) {
+  Fingerprint serial = run_sieve_fp(kSerial, 16, 600);
+  EXPECT_EQ(serial.value, 109);  // pi(600)
+  for (int t : kThreadCounts) {
+    expect_identical(serial, run_sieve_fp(t, 16, 600), t);
+  }
+}
+
+TEST(PingPongCrossDriver, BitIdenticalAtEveryThreadCount) {
+  Fingerprint serial = run_pingpong_fp(kSerial, 4, 500);
+  for (int t : kThreadCounts) {
+    expect_identical(serial, run_pingpong_fp(t, 4, 500), t);
+  }
+}
+
+TEST(HostThreads, EnvVariableSelectsDriver) {
+  core::Program prog;
+  apps::register_pingpong(prog);
+  prog.finalize();
+  ASSERT_EQ(setenv("ABCLSIM_HOST_THREADS", "3", 1), 0);
+  {
+    WorldConfig cfg;
+    cfg.nodes = 2;
+    World world(prog, cfg);
+    EXPECT_EQ(world.host_threads(), 3);
+  }
+  ASSERT_EQ(unsetenv("ABCLSIM_HOST_THREADS"), 0);
+  {
+    WorldConfig cfg;
+    cfg.nodes = 2;
+    World world(prog, cfg);
+    EXPECT_EQ(world.host_threads(), 1);  // serial
+  }
+  {
+    WorldConfig cfg;
+    cfg.nodes = 2;
+    cfg.host_threads = 5;  // explicit config beats the environment
+    World world(prog, cfg);
+    EXPECT_EQ(world.host_threads(), 5);
+  }
+}
+
+}  // namespace
+

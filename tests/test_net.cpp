@@ -270,4 +270,158 @@ TEST_P(NetworkTraffic, NoLossNoDupFifo) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, NetworkTraffic, ::testing::Values(2, 3, 16, 64));
 
+// ------------------------------------------- Deterministic delivery order ---
+
+TEST(Network, SameInstantArrivalsOrderedBySourceNotSendCallOrder) {
+  // Fully connected: nodes 1 and 3 are both one hop from 2, so identical
+  // packets sent at the same instant arrive at the same instant. The higher
+  // source sends *first*, yet the lower source must be delivered first:
+  // tiebreak is (arrive_time, src, seq) — simulated quantities, not host
+  // call order.
+  sim::CostModel cm = sim::CostModel::ap1000();
+  net::Network net(Topology(TopologyKind::kFullyConnected, 4), &cm);
+  net.send(make_pkt(3, 2, 0, /*tag=*/33), net::AmCategory::kObjectMessage);
+  net.send(make_pkt(1, 2, 0, /*tag=*/11), net::AmCategory::kObjectMessage);
+  Packet out;
+  ASSERT_TRUE(net.poll(2, sim::kInstrInf, out));
+  EXPECT_EQ(out.src, 1);
+  EXPECT_EQ(out.at(0), 11u);
+  ASSERT_TRUE(net.poll(2, sim::kInstrInf, out));
+  EXPECT_EQ(out.src, 3);
+}
+
+TEST(Network, SeqNumbersArePerSource) {
+  sim::CostModel cm = sim::CostModel::ap1000();
+  auto net = make_net(4, &cm);
+  net.send(make_pkt(0, 2, 0), net::AmCategory::kObjectMessage);
+  net.send(make_pkt(1, 2, 0), net::AmCategory::kObjectMessage);
+  net.send(make_pkt(0, 3, 0), net::AmCategory::kObjectMessage);
+  std::map<int, std::vector<std::uint64_t>> seqs_by_src;
+  Packet out;
+  for (int d = 0; d < 4; ++d) {
+    while (net.poll(d, sim::kInstrInf, out)) {
+      seqs_by_src[out.src].push_back(out.seq);
+    }
+  }
+  EXPECT_EQ(seqs_by_src[0], (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(seqs_by_src[1], (std::vector<std::uint64_t>{0}));
+}
+
+TEST(Network, MinPacketLatencyIsAPositiveLowerBound) {
+  for (auto cm : {sim::CostModel::ap1000(), sim::CostModel::zero()}) {
+    auto net = make_net(16, &cm);
+    sim::Instr look = net.min_packet_latency();
+    EXPECT_GT(look, 0u);
+    // Empirically no packet beats the bound, including the 0-hop self-send.
+    for (int dst = 0; dst < 16; ++dst) {
+      net.send(make_pkt(0, dst, 0), net::AmCategory::kObjectMessage);
+    }
+    Packet out;
+    for (int dst = 0; dst < 16; ++dst) {
+      while (net.poll(dst, sim::kInstrInf, out)) {
+        EXPECT_GE(out.arrive_time - out.send_time, look);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ Outbox + merging ---
+
+TEST(Network, OutboxBuffersUntilFlush) {
+  sim::CostModel cm = sim::CostModel::ap1000();
+  auto net = make_net(4, &cm);
+  net::Network::Outbox ob;
+  net.set_outbox(0, &ob);
+  ob.set_current_key(0);
+  net.send(make_pkt(0, 1, 0), net::AmCategory::kObjectMessage);
+  EXPECT_EQ(ob.size(), 1u);
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(net.next_arrival(1), sim::kInstrInf);  // nothing committed yet
+  net::Network::Outbox* boxes[] = {&ob};
+  net.flush_outboxes(boxes, 1);
+  EXPECT_TRUE(ob.empty());
+  EXPECT_EQ(net.in_flight(), 1u);
+  Packet out;
+  ASSERT_TRUE(net.poll(1, sim::kInstrInf, out));
+  net.set_outbox(0, nullptr);
+}
+
+TEST(Network, FlushCommitsInCanonicalKeySrcOrderAcrossOutboxes) {
+  // Two outboxes holding interleaved quantum keys: after the flush, seqs and
+  // channel floors must equal those of a direct-send network that issued the
+  // same packets in ascending (key, src) order.
+  sim::CostModel cm = sim::CostModel::ap1000();
+  auto buffered = make_net(4, &cm);
+  auto direct = make_net(4, &cm);
+
+  net::Network::Outbox ob0, ob1;
+  buffered.set_outbox(0, &ob0);
+  buffered.set_outbox(1, &ob1);
+  // Worker 0 runs node 0's quanta at keys 50 then 70; worker 1 runs node
+  // 1's quantum at key 60. Host issue order is scrambled on purpose.
+  ob0.set_current_key(50);
+  buffered.send(make_pkt(0, 2, 50, 1), net::AmCategory::kObjectMessage);
+  ob0.set_current_key(70);
+  buffered.send(make_pkt(0, 2, 70, 3), net::AmCategory::kObjectMessage);
+  ob1.set_current_key(60);
+  buffered.send(make_pkt(1, 2, 60, 2), net::AmCategory::kObjectMessage);
+  net::Network::Outbox* boxes[] = {&ob1, &ob0};  // order must not matter
+  buffered.flush_outboxes(boxes, 2);
+
+  direct.send(make_pkt(0, 2, 50, 1), net::AmCategory::kObjectMessage);
+  direct.send(make_pkt(1, 2, 60, 2), net::AmCategory::kObjectMessage);
+  direct.send(make_pkt(0, 2, 70, 3), net::AmCategory::kObjectMessage);
+
+  Packet a, b;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(buffered.poll(2, sim::kInstrInf, a));
+    ASSERT_TRUE(direct.poll(2, sim::kInstrInf, b));
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.arrive_time, b.arrive_time);
+    EXPECT_EQ(a.at(0), b.at(0));
+  }
+  EXPECT_EQ(buffered.stats().packets, direct.stats().packets);
+  EXPECT_EQ(buffered.stats().wire_latency_instr.mean(),
+            direct.stats().wire_latency_instr.mean());
+  EXPECT_EQ(buffered.stats().wire_latency_instr.variance(),
+            direct.stats().wire_latency_instr.variance());
+}
+
+TEST(NetworkStats, MergeMatchesCombinedAccumulation) {
+  sim::CostModel cm = sim::CostModel::ap1000();
+  auto whole = make_net(8, &cm);
+  auto part_a = make_net(8, &cm);
+  auto part_b = make_net(8, &cm);
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    int src = static_cast<int>(rng.below(8));
+    int dst = static_cast<int>(rng.below(8));
+    // Widely spaced send times: the per-channel FIFO clamp never engages, so
+    // each packet's latency is independent of which network carried it.
+    auto t = static_cast<sim::Instr>(i) * 1000;
+    auto cat = static_cast<net::AmCategory>(rng.below(4));
+    whole.send(make_pkt(src, dst, t), cat);
+    (i % 2 == 0 ? part_a : part_b).send(make_pkt(src, dst, t), cat);
+  }
+  net::Network::Stats merged = part_a.stats();
+  merged.merge(part_b.stats());
+  EXPECT_EQ(merged.packets, whole.stats().packets);
+  EXPECT_EQ(merged.payload_words, whole.stats().payload_words);
+  EXPECT_EQ(merged.wire_words, whole.stats().wire_words);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(merged.per_category[c], whole.stats().per_category[c]);
+  }
+  EXPECT_EQ(merged.wire_latency_instr.count(),
+            whole.stats().wire_latency_instr.count());
+  // Welford merge is algebraically exact; floating point makes it only
+  // near-exact vs a straight-line accumulation.
+  EXPECT_NEAR(merged.wire_latency_instr.mean(),
+              whole.stats().wire_latency_instr.mean(), 1e-9);
+  EXPECT_NEAR(merged.wire_latency_instr.variance(),
+              whole.stats().wire_latency_instr.variance(), 1e-6);
+  EXPECT_EQ(merged.wire_latency_instr.min(), whole.stats().wire_latency_instr.min());
+  EXPECT_EQ(merged.wire_latency_instr.max(), whole.stats().wire_latency_instr.max());
+}
+
 }  // namespace

@@ -87,7 +87,7 @@ struct TokenRun {
 };
 
 TokenRun run_tokens(int nodes, int tokens, int hops, std::uint64_t seed,
-                    core::SchedPolicy policy) {
+                    core::SchedPolicy policy, int host_threads = 0) {
   core::Program prog;
   TokenProgram tp = register_token(prog);
   prog.finalize();
@@ -96,6 +96,7 @@ TokenRun run_tokens(int nodes, int tokens, int hops, std::uint64_t seed,
   cfg.nodes = nodes;
   cfg.seed = seed;
   cfg.node.policy = policy;
+  cfg.host_threads = host_threads;
   World world(prog, cfg);
 
   TokenRing ring;
@@ -254,6 +255,45 @@ TEST(Determinism, FibIdenticalAcrossRuns) {
         r.value, r.rep.sim_time, r.rep.quanta);
   };
   EXPECT_EQ(once(), once());
+}
+
+TEST(Determinism, TokensIdenticalAcrossHostDrivers) {
+  // Random routing through per-node RNGs: any divergence in delivery order
+  // under the parallel driver changes which worker each token visits and so
+  // shows up in sim_time/quanta/deliveries immediately.
+  TokenRun serial =
+      run_tokens(32, 48, 60, 7, core::SchedPolicy::kStack, /*host_threads=*/-1);
+  ASSERT_TRUE(serial.completed);
+  for (int threads : {1, 2, 8}) {
+    TokenRun par =
+        run_tokens(32, 48, 60, 7, core::SchedPolicy::kStack, threads);
+    EXPECT_TRUE(par.completed);
+    EXPECT_EQ(par.sim_time, serial.sim_time) << "threads=" << threads;
+    EXPECT_EQ(par.quanta, serial.quanta) << "threads=" << threads;
+    EXPECT_EQ(par.deliveries, serial.deliveries) << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, NQueensStatsIdenticalAcrossHostDrivers) {
+  auto once = [](int host_threads) {
+    core::Program prog;
+    auto np = apps::register_nqueens(prog);
+    prog.finalize();
+    WorldConfig cfg;
+    cfg.nodes = 32;
+    cfg.host_threads = host_threads;
+    World world(prog, cfg);
+    apps::NQueensParams p;
+    p.n = 8;
+    auto r = apps::run_nqueens(world, np, p);
+    return std::tuple(r.solutions, r.stats.local_sends, r.stats.remote_sends,
+                      r.stats.sched_dispatches, r.stats.chunk_stock_hits,
+                      r.stats.blocks_await, r.sim_time, r.rep.quanta);
+  };
+  auto serial = once(-1);
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(once(threads), serial) << "threads=" << threads;
+  }
 }
 
 TEST(Determinism, StatsIdenticalAcrossRuns) {
