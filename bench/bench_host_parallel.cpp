@@ -8,15 +8,25 @@
 // ABCLSIM_NQUEENS_N for other sizes. Note: the measured speedup is bounded
 // by physical cores — the JSON records host_cores so trajectories from
 // single-core CI boxes aren't misread as regressions.
+//
+// A full obs metrics snapshot of the canonical P=64 run additionally lands
+// next to the trajectory (ABCLSIM_METRICS_JSON, default
+// BENCH_host_parallel.metrics.json); the serial and 8-thread snapshots are
+// diffed byte-for-byte here, so any cross-driver stats divergence fails the
+// bench just like a solution-count divergence. CI feeds both files to
+// bench_regression_check against the committed baselines.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/nqueens.hpp"
 #include "bench_common.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -31,7 +41,8 @@ struct Sample {
   std::uint64_t quanta = 0;
 };
 
-Sample run_once(int nodes, int host_threads, const apps::NQueensParams& p) {
+Sample run_once(int nodes, int host_threads, const apps::NQueensParams& p,
+                std::string* metrics_out = nullptr) {
   core::Program prog;
   auto np = apps::register_nqueens(prog);
   prog.finalize();
@@ -51,6 +62,7 @@ Sample run_once(int nodes, int host_threads, const apps::NQueensParams& p) {
   s.solutions = r.solutions;
   s.sim_time = r.sim_time;
   s.quanta = r.rep.quanta;
+  if (metrics_out != nullptr) *metrics_out = obs::metrics_json(world, &r.rep);
   return s;
 }
 
@@ -68,13 +80,20 @@ int main(int argc, char** argv) {
   std::printf("N = %d, host cores = %u\n", n, cores);
   std::vector<Sample> samples;
   bool identical = true;
+  std::string metrics_serial, metrics_par8;
   for (int nodes : {64, 256, 512}) {
     util::Table t({"P", "Driver", "Wall (ms)", "Speedup vs serial",
                    "Solutions", "Sim time (instr)"});
     double serial_ms = 0.0;
     Sample serial{};
     for (int ht : thread_counts) {
-      Sample s = run_once(nodes, ht, p);
+      // Snapshot the canonical P=64 config from both drivers: the serial
+      // snapshot is the published artifact, the 8-thread one only exists to
+      // prove byte-identity below.
+      std::string* mout = nullptr;
+      if (nodes == 64 && ht == 0) mout = &metrics_serial;
+      if (nodes == 64 && ht == 8) mout = &metrics_par8;
+      Sample s = run_once(nodes, ht, p, mout);
       samples.push_back(s);
       if (ht == 0) {
         serial_ms = s.wall_ms;
@@ -92,6 +111,18 @@ int main(int argc, char** argv) {
                  util::Table::num(static_cast<std::uint64_t>(s.sim_time))});
     }
     t.print();
+  }
+
+  if (metrics_serial != metrics_par8) {
+    identical = false;
+    std::printf("METRICS DIVERGENCE: serial and 8-thread snapshots differ!\n");
+  }
+  const char* mpath = std::getenv("ABCLSIM_METRICS_JSON");
+  if (mpath == nullptr || *mpath == '\0') mpath = "BENCH_host_parallel.metrics.json";
+  if (obs::write_file(mpath, metrics_serial)) {
+    std::printf("wrote %s\n", mpath);
+  } else {
+    std::printf("could not open %s for writing\n", mpath);
   }
 
   const char* path = std::getenv("ABCLSIM_BENCH_JSON");

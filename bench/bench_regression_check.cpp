@@ -1,0 +1,46 @@
+// CI regression gate over bench trajectories and metrics snapshots.
+//
+//   $ bench_regression_check <baseline.json> <candidate.json> [tol_pct]
+//
+// Compares every numeric counter in `candidate` against `baseline` and
+// fails (exit 1) on relative drift beyond the tolerance (default 0.5%,
+// override with the third argument or ABCLSIM_REGRESSION_TOL_PCT).
+// Host-dependent fields (wall_ms, host_cores) are ignored — the gate is
+// about the *simulated* trajectory, which is deterministic: solutions,
+// sim_time, quanta, packet and scheduling counters. An intentional
+// cost-model change is expected to update the committed baseline in the
+// same PR.
+//
+// With no arguments the tool prints usage and exits 0, so sweeping
+// `for b in build/bench/*; do $b; done` stays harmless.
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/regression.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::printf(
+        "usage: %s <baseline.json> <candidate.json> [tol_pct]\n"
+        "(no files given - nothing to check, exiting 0)\n",
+        argv[0]);
+    return 0;
+  }
+  double tol = 0.5;
+  if (const char* env = std::getenv("ABCLSIM_REGRESSION_TOL_PCT")) {
+    if (*env != '\0') tol = std::atof(env);
+  }
+  if (argc > 3) tol = std::atof(argv[3]);
+
+  abcl::obs::CompareResult res =
+      abcl::obs::compare_json_files(argv[1], argv[2], tol);
+  if (!res.ok()) {
+    std::printf("REGRESSION: %zu counter(s) drifted beyond %.2f%% "
+                "(baseline %s, candidate %s):\n%s",
+                res.drifts.size(), tol, argv[1], argv[2],
+                res.to_string().c_str());
+    return 1;
+  }
+  std::printf("ok: %s matches %s within %.2f%%\n", argv[2], argv[1], tol);
+  return 0;
+}

@@ -1,16 +1,21 @@
 // Execution tracing and utilization reporting.
 //
-//   $ ./trace_demo [N] [nodes]
+//   $ ./trace_demo [N] [nodes] [trace.json]
 //
 // Runs N-queens with a tracer attached, prints the per-node utilization
 // table and a coarse text timeline of quantum activity per node — a quick
-// way to see load balance and the idle tail at the end of a run.
+// way to see load balance and the idle tail at the end of a run. With a
+// third argument, additionally writes the trace in Chrome trace-event
+// format: open the file at https://ui.perfetto.dev (or chrome://tracing)
+// to browse it interactively; see EXPERIMENTS.md for the recipe.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "apps/nqueens.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
 #include "sim/trace.hpp"
 
 using namespace abcl;
@@ -18,8 +23,10 @@ using namespace abcl;
 int main(int argc, char** argv) {
   int n = argc > 1 ? std::atoi(argv[1]) : 9;
   int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
+  const char* trace_path = argc > 3 ? argv[3] : nullptr;
   if (n < 4 || n > 13 || nodes < 1 || nodes > 64) {
-    std::fprintf(stderr, "usage: %s [N 4..13] [nodes 1..64]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [N 4..13] [nodes 1..64] [trace.json]\n",
+                 argv[0]);
     return 1;
   }
 
@@ -42,6 +49,16 @@ int main(int argc, char** argv) {
               n, nodes, static_cast<long long>(r.solutions), r.sim_ms,
               world.mean_utilization() * 100.0);
   world.utilization_table().print();
+
+  if (trace_path != nullptr) {
+    if (obs::write_file(trace_path, obs::chrome_trace_json(tracer))) {
+      std::printf("\nwrote %s (load it at https://ui.perfetto.dev)\n",
+                  trace_path);
+    } else {
+      std::fprintf(stderr, "could not write %s\n", trace_path);
+      return 1;
+    }
+  }
 
   // Coarse activity timeline: one row per node, 64 buckets over the run;
   // darker glyphs = more quanta started in that interval.

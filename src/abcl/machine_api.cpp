@@ -89,6 +89,9 @@ util::Table World::utilization_table() const {
                  "Objects created", "Sched dispatches"});
   for (const auto& n : nodes_) {
     const core::NodeStats& s = n->stats();
+    // busy + idle is 0 for a node that never ran a quantum (zero-quantum
+    // run, or a report taken before any run()): report 0% rather than
+    // dividing by zero.
     sim::Instr total = s.busy_instr + s.idle_instr;
     double util = total == 0 ? 0.0
                              : static_cast<double>(s.busy_instr) /

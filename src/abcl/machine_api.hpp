@@ -50,7 +50,11 @@ class World {
   core::NodeRuntime& node(core::NodeId id) {
     return *nodes_[static_cast<std::size_t>(id)];
   }
+  const core::NodeRuntime& node(core::NodeId id) const {
+    return *nodes_[static_cast<std::size_t>(id)];
+  }
   net::Network& network() { return *net_; }
+  const net::Network& network() const { return *net_; }
   sim::Driver& machine() { return *machine_; }
   const WorldConfig& config() const { return cfg_; }
   // Host worker threads actually driving the simulation (1 = serial).

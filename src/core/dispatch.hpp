@@ -42,7 +42,7 @@ Status resume_frame(NodeRuntime& rt, ObjectHeader* o) {
   }
   rt.charge(rt.cost_model().ctx_restore);
   rt.stats().resumes += 1;
-  rt.trace(sim::TraceEv::kResume);
+  rt.trace(sim::TraceEv::kResume, o->cls->id);
   return run_frame<T, FrameT>(rt, o, *f, /*on_stack=*/false);
 }
 

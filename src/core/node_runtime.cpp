@@ -53,7 +53,8 @@ void NodeRuntime::step() {
   deliveries_this_quantum_ = 0;
   quantum_start_clock_ = clock_;
   ++quanta_run_;
-  trace(sim::TraceEv::kQuantum);
+  stats_.sched_depth.add(sched_.size());
+  trace(sim::TraceEv::kQuantum, sched_.size());
 
   // Poll against the quantum-start clock, not the growing clock_: a packet
   // that arrives mid-quantum (while handlers charge instructions) is picked
@@ -66,7 +67,13 @@ void NodeRuntime::step() {
          net_->poll(id_, quantum_start_clock_, pkt)) {
     charge(cm_->recv_handler);
     stats_.remote_recv += 1;
-    trace(sim::TraceEv::kRecvRemote);
+    // Send -> dispatch latency in simulated instrs: the wire plus however
+    // long the packet sat deliverable in the receive queue. The dispatch
+    // instant includes the just-charged handler cost, matching the paper's
+    // "receiver instructions" accounting.
+    auto cat = static_cast<int>(prog_->am().entry(pkt.handler).category);
+    stats_.msg_latency[cat].add(static_cast<std::uint64_t>(clock_ - pkt.send_time));
+    trace(sim::TraceEv::kRecvRemote, pkt.handler);
     prog_->am().dispatch(pkt.handler, this, pkt);
     ++handled;
   }
@@ -239,7 +246,7 @@ void NodeRuntime::method_epilogue(ObjectHeader* o) {
 }
 
 void NodeRuntime::commit_block(ObjectHeader* o, CtxFrameBase* hf, ResumeFn resume) {
-  trace(sim::TraceEv::kBlock);
+  trace(sim::TraceEv::kBlock, static_cast<std::uint64_t>(block_reason_.kind));
   o->blocked_frame = hf;
   o->resume_entry = resume;
   switch (block_reason_.kind) {
@@ -403,7 +410,7 @@ void NodeRuntime::remote_send(MailAddr t, PatternId p, const Word* args,
                               int nargs, const ReplyDest& rd) {
   charge(cm_->send_setup);
   stats_.remote_sends += 1;
-  trace(sim::TraceEv::kSendRemote);
+  trace(sim::TraceEv::kSendRemote, p);
   net::Packet pkt;
   pkt.handler = prog_->h_obj_msg(p);
   pkt.src = id_;
@@ -485,7 +492,7 @@ Word NodeRuntime::take_reply(NowCall& c) {
 // ----------------------------------------------------------------------------
 
 ObjectHeader* NodeRuntime::alloc_object(const ClassInfo& cls) {
-  trace(sim::TraceEv::kCreate);
+  trace(sim::TraceEv::kCreate, cls.id);
   std::size_t bytes = object_alloc_bytes(cls.state_bytes);
   auto szcls = static_cast<std::uint16_t>(util::PoolAllocator::size_class(bytes));
   void* mem = pool_.allocate(bytes);

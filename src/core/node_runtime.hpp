@@ -235,8 +235,8 @@ class NodeRuntime final : public sim::NodeExec {
     tracer_ = t;
     return old;
   }
-  void trace(sim::TraceEv ev) {
-    if (tracer_ != nullptr) tracer_->record(clock_, id_, ev);
+  void trace(sim::TraceEv ev, std::uint64_t payload = 0) {
+    if (tracer_ != nullptr) tracer_->record(clock_, id_, ev, payload);
   }
 
   // Chunk-stock interface (implementation in remote/chunk_stock).

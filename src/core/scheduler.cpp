@@ -3,6 +3,13 @@
 namespace abcl::core {
 
 void NodeStats::merge(const NodeStats& o) {
+  // Field-coverage guard: a new NodeStats member must be merged below or
+  // World::total_stats silently drops it (21 uint64 counters plus 5
+  // Log2Histograms on LP64). tests/test_obs.cpp checks the fields.
+  static_assert(sizeof(NodeStats) ==
+                    21 * sizeof(std::uint64_t) +
+                        (kNumAmCategories + 1) * sizeof(util::Log2Histogram),
+                "new NodeStats field? merge it here and in the tests");
   local_sends += o.local_sends;
   local_to_dormant += o.local_to_dormant;
   local_to_active += o.local_to_active;
@@ -24,6 +31,8 @@ void NodeStats::merge(const NodeStats& o) {
   sched_dispatches += o.sched_dispatches;
   busy_instr += o.busy_instr;
   idle_instr += o.idle_instr;
+  for (int i = 0; i < kNumAmCategories; ++i) msg_latency[i].merge(o.msg_latency[i]);
+  sched_depth.merge(o.sched_depth);
 }
 
 }  // namespace abcl::core

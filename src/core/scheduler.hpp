@@ -15,6 +15,7 @@
 #include "core/object.hpp"
 #include "sim/time.hpp"
 #include "util/intrusive_list.hpp"
+#include "util/stats.hpp"
 
 namespace abcl::core {
 
@@ -78,6 +79,17 @@ struct NodeStats {
   sim::Instr busy_instr = 0;   // total charged work
   sim::Instr idle_instr = 0;   // clock jumps while waiting for packets
 
+  // distributions (all in simulated quantities, so they are bit-identical
+  // across host drivers)
+  static constexpr int kNumAmCategories = 4;  // mirrors net::AmCategory
+  // Per-AM-category message latency, send_time -> dispatch, in simulated
+  // instructions (wire latency + time the packet sat in the receive queue).
+  util::Log2Histogram msg_latency[kNumAmCategories];
+  // Scheduling-queue length sampled at the start of every quantum.
+  util::Log2Histogram sched_depth;
+
+  // Accumulates every field of `o` into this block; keep in sync with the
+  // field list above (tests/test_obs.cpp carries a field-coverage check).
   void merge(const NodeStats& o);
 };
 

@@ -12,6 +12,15 @@ constexpr int kMinWireWords = 4;                 // header-only packet
 }
 
 void Network::Stats::merge(const Stats& o) {
+  // Field-coverage guard: a new Stats member must be merged here or totals
+  // silently drop it. On LP64 the struct is 3*8 (counters) + 4*8
+  // (per_category) + 48 (RunningStat) bytes; adding a field breaks this
+  // assert and points you at the merge. tests/test_obs.cpp checks the
+  // fields themselves.
+  static_assert(sizeof(Stats) == 3 * sizeof(std::uint64_t) +
+                                     4 * sizeof(std::uint64_t) +
+                                     sizeof(util::RunningStat),
+                "new Network::Stats field? merge it here and in the tests");
   packets += o.packets;
   payload_words += o.payload_words;
   wire_words += o.wire_words;

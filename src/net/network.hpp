@@ -107,6 +107,12 @@ class Network {
   // Earliest pending arrival for `dst`, or kInstrInf.
   sim::Instr next_arrival(NodeId dst) const;
 
+  // Packets currently queued toward `dst` (delivered or not yet arrived);
+  // observability hook for mid-run snapshots. Zero at quiescence.
+  std::size_t pending(NodeId dst) const {
+    return queues_[static_cast<std::size_t>(dst)].size();
+  }
+
   // A strictly positive lower bound on any packet's priced latency: the
   // parallel driver's lookahead. (Every packet carries >= 4 header words
   // and hops >= 0; send() clamps zero wire latency up to 1.)

@@ -1,0 +1,81 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace abcl::obs {
+
+namespace {
+
+// What the payload word means for each event kind (shown as the arg name
+// in the trace viewer; keep in sync with the TraceEv comments).
+const char* payload_name(sim::TraceEv e) {
+  switch (e) {
+    case sim::TraceEv::kQuantum: return "sched_queue_len";
+    case sim::TraceEv::kSendRemote: return "pattern";
+    case sim::TraceEv::kRecvRemote: return "handler";
+    case sim::TraceEv::kBlock: return "reason";
+    case sim::TraceEv::kResume: return "class";
+    case sim::TraceEv::kCreate: return "class";
+  }
+  return "payload";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<sim::Tracer::Event>& events) {
+  // Compact (single-line-per-event would still be valid; indent 0 keeps
+  // multi-megabyte traces loadable and the diff in tests small).
+  JsonWriter w(/*indent=*/0);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Thread-name metadata for every node that appears, in node order, so
+  // the viewer shows "node N" lanes and the output is deterministic.
+  std::vector<sim::NodeId> nodes;
+  for (const auto& e : events) nodes.push_back(e.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  w.begin_object();
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", 0);
+  w.key("args").begin_object().field("name", "abclsim").end_object();
+  w.end_object();
+  for (sim::NodeId n : nodes) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::int64_t>(n));
+    w.key("args").begin_object();
+    w.field("name", "node " + std::to_string(n));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& e : events) {
+    w.begin_object();
+    w.field("name", sim::to_string(e.kind));
+    w.field("ph", "i");
+    w.field("s", "t");  // thread-scoped instant
+    w.field("ts", e.t);
+    w.field("pid", 0);
+    w.field("tid", static_cast<std::int64_t>(e.node));
+    w.key("args").begin_object();
+    w.field(payload_name(e.kind), e.payload);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+}  // namespace abcl::obs

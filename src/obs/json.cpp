@@ -1,0 +1,431 @@
+#include "obs/json.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace abcl::obs {
+
+// ----------------------------------------------------------------------------
+// Writer
+// ----------------------------------------------------------------------------
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::element_prefix() {
+  if (pending_key_) {
+    pending_key_ = false;  // value follows its key on the same line
+    return;
+  }
+  if (stack_.empty()) return;  // the root value
+  Scope& s = stack_.back();
+  ABCL_CHECK_MSG(!s.is_object, "object members need a key() first");
+  if (s.has_elem) out_ += ',';
+  s.has_elem = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  ABCL_CHECK_MSG(!stack_.empty() && stack_.back().is_object,
+                 "key() outside an object");
+  ABCL_CHECK_MSG(!pending_key_, "two keys in a row");
+  Scope& s = stack_.back();
+  if (s.has_elem) out_ += ',';
+  s.has_elem = true;
+  newline_indent();
+  raw_string(k);
+  out_ += indent_ > 0 ? ": " : ":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  element_prefix();
+  out_ += '{';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ABCL_CHECK(!stack_.empty() && stack_.back().is_object && !pending_key_);
+  bool had = stack_.back().has_elem;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  element_prefix();
+  out_ += '[';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ABCL_CHECK(!stack_.empty() && !stack_.back().is_object);
+  bool had = stack_.back().has_elem;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  element_prefix();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  element_prefix();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  element_prefix();
+  // %.17g round-trips every finite double and is a pure function of the
+  // bits, which is what keeps snapshots byte-comparable. Non-finite values
+  // have no JSON literal; emit null.
+  char buf[40];
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+    out_ += "null";
+    return *this;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  element_prefix();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+void JsonWriter::raw_string(std::string_view v) {
+  out_ += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  element_prefix();
+  raw_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  element_prefix();
+  out_ += "null";
+  return *this;
+}
+
+// ----------------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // The writer only emits \u00xx control escapes; decode the
+            // BMP code point as UTF-8 so round-trips are lossless.
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& v) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return false;
+    }
+    std::string lit(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    errno = 0;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(lit.c_str(), &end);
+    if (end != lit.c_str() + lit.size()) {
+      fail("malformed number");
+      return false;
+    }
+    if (integral) {
+      errno = 0;
+      long long i = std::strtoll(lit.c_str(), &end, 10);
+      if (errno == 0 && end == lit.c_str() + lit.size()) {
+        v.integer = i;
+        v.is_integer = true;
+      }
+    }
+    return true;
+  }
+
+  bool parse_value(JsonValue& v) {
+    if (depth_ > 128) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      ++depth_;
+      skip_ws();
+      if (eat('}')) {
+        --depth_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) {
+          fail("expected ':'");
+          return false;
+        }
+        JsonValue member;
+        if (!parse_value(member)) return false;
+        v.object.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat('}')) {
+          --depth_;
+          return true;
+        }
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      ++depth_;
+      skip_ws();
+      if (eat(']')) {
+        --depth_;
+        return true;
+      }
+      while (true) {
+        JsonValue elem;
+        if (!parse_value(elem)) return false;
+        v.array.push_back(std::move(elem));
+        skip_ws();
+        if (eat(',')) continue;
+        if (eat(']')) {
+          --depth_;
+          return true;
+        }
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      return parse_string(v.string);
+    }
+    if (literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      v.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return parse_number(v);
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  bool ok = n == content.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string out;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace abcl::obs

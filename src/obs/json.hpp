@@ -1,0 +1,106 @@
+// Deterministic JSON support for the observability layer.
+//
+// Writer: a small streaming emitter whose output is a pure function of the
+// value sequence — fixed key order (caller-controlled), fixed number
+// formatting ("%.17g" for doubles, exact decimal for integers), fixed
+// 2-space indentation. Byte-identical output across runs and host drivers
+// is a contract here: the cross-driver tests diff snapshot strings
+// directly.
+//
+// Parser: the minimal recursive-descent reader the regression tooling needs
+// to load `BENCH_*.json` baselines and metrics snapshots. Not a general
+// validator; it accepts the JSON this repo emits (objects, arrays, strings
+// with the escapes the writer produces, numbers, bools, null) and reports
+// the first error position otherwise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace abcl::obs {
+
+class JsonWriter {
+ public:
+  // indent <= 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key of the next member (only valid directly inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  // key() + value() in one call.
+  template <class T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void element_prefix();  // comma/newline/indent bookkeeping
+  void newline_indent();
+  void raw_string(std::string_view v);
+
+  struct Scope {
+    bool is_object = false;
+    bool has_elem = false;
+  };
+  std::string out_;
+  std::vector<Scope> stack_;
+  int indent_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value; object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;          // always set for kNumber
+  std::int64_t integer = 0;     // exact value when is_integer
+  bool is_integer = false;      // true if the literal was integral & in range
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Member lookup (nullptr if absent or not an object).
+  const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// Returns nullopt on malformed input; `error`, if given, receives a short
+// description with the byte offset of the failure.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+// Whole-file helpers used by the bench/CI tooling. read_file returns
+// nullopt if the file cannot be opened.
+bool write_file(const std::string& path, std::string_view content);
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace abcl::obs

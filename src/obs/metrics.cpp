@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include "net/active_message.hpp"
+#include "obs/json.hpp"
+
+namespace abcl::obs {
+
+namespace {
+
+void running_stat_json(JsonWriter& w, const util::RunningStat& s) {
+  w.begin_object();
+  w.field("count", s.count());
+  w.field("mean", s.mean());
+  w.field("variance", s.variance());
+  w.field("min", s.min());
+  w.field("max", s.max());
+  w.field("sum", s.sum());
+  w.end_object();
+}
+
+// The scalar counters shared by the per-node records and the totals block.
+void node_counters_json(JsonWriter& w, const core::NodeStats& s) {
+  w.field("local_sends", s.local_sends);
+  w.field("local_to_dormant", s.local_to_dormant);
+  w.field("local_to_active", s.local_to_active);
+  w.field("local_to_waiting_hit", s.local_to_waiting_hit);
+  w.field("forced_buffer_depth", s.forced_buffer_depth);
+  w.field("remote_sends", s.remote_sends);
+  w.field("remote_recv", s.remote_recv);
+  w.field("replies_sent", s.replies_sent);
+  w.field("blocks_await", s.blocks_await);
+  w.field("blocks_select", s.blocks_select);
+  w.field("yields", s.yields);
+  w.field("resumes", s.resumes);
+  w.field("await_fast_hits", s.await_fast_hits);
+  w.field("creations_local", s.creations_local);
+  w.field("creations_remote", s.creations_remote);
+  w.field("chunk_stock_hits", s.chunk_stock_hits);
+  w.field("chunk_stock_misses", s.chunk_stock_misses);
+  w.field("sched_enqueues", s.sched_enqueues);
+  w.field("sched_dispatches", s.sched_dispatches);
+  w.field("busy_instr", s.busy_instr);
+  w.field("idle_instr", s.idle_instr);
+}
+
+void latency_histograms_json(JsonWriter& w, const core::NodeStats& s) {
+  w.key("msg_latency_instr");
+  w.begin_object();
+  for (int c = 0; c < core::NodeStats::kNumAmCategories; ++c) {
+    w.key(net::to_string(static_cast<net::AmCategory>(c)));
+    histogram_json(w, s.msg_latency[c]);
+  }
+  w.end_object();
+  w.key("sched_depth");
+  histogram_json(w, s.sched_depth);
+}
+
+}  // namespace
+
+void histogram_json(JsonWriter& w, const util::Log2Histogram& h) {
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("p50", h.percentile(0.50));
+  w.field("p90", h.percentile(0.90));
+  w.field("p99", h.percentile(0.99));
+  w.key("buckets");
+  w.begin_array();
+  for (int i = 0; i < util::Log2Histogram::kBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    w.begin_array();
+    w.value(i);
+    w.value(h.bucket(i));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string metrics_json(const World& world, const RunReport* rep) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kMetricsSchema);
+  w.field("nodes", static_cast<std::int64_t>(world.num_nodes()));
+  w.field("seed", world.config().seed);
+
+  if (rep != nullptr) {
+    w.key("run");
+    w.begin_object();
+    w.field("sim_time", rep->sim_time);
+    w.field("quanta", rep->quanta);
+    w.field("sim_ms", rep->sim_ms);
+    w.end_object();
+  }
+
+  const net::Network::Stats& ns = world.network().stats();
+  w.key("network");
+  w.begin_object();
+  w.field("packets", ns.packets);
+  w.field("payload_words", ns.payload_words);
+  w.field("wire_words", ns.wire_words);
+  w.field("in_flight", world.network().in_flight());
+  w.key("per_category");
+  w.begin_object();
+  for (int c = 0; c < 4; ++c) {
+    w.field(net::to_string(static_cast<net::AmCategory>(c)),
+            ns.per_category[c]);
+  }
+  w.end_object();
+  w.key("wire_latency_instr");
+  running_stat_json(w, ns.wire_latency_instr);
+  w.end_object();
+
+  core::NodeStats totals = world.total_stats();
+  w.key("totals");
+  w.begin_object();
+  node_counters_json(w, totals);
+  w.field("live_objects", static_cast<std::uint64_t>(world.total_live_objects()));
+  w.field("created_objects", world.total_created_objects());
+  w.field("heap_bytes", static_cast<std::uint64_t>(world.total_heap_bytes()));
+  w.field("max_clock", world.max_clock());
+  latency_histograms_json(w, totals);
+  w.end_object();
+
+  w.key("per_node");
+  w.begin_array();
+  for (std::int32_t i = 0; i < world.num_nodes(); ++i) {
+    const core::NodeRuntime& n = world.node(i);
+    w.begin_object();
+    w.field("node", static_cast<std::int64_t>(n.node_id()));
+    w.field("clock", n.clock());
+    node_counters_json(w, n.stats());
+    w.field("live_objects", static_cast<std::uint64_t>(n.live_objects()));
+    w.field("created_objects", n.total_created());
+    w.field("heap_bytes", static_cast<std::uint64_t>(n.heap_bytes()));
+    w.field("sched_queue_len", static_cast<std::uint64_t>(n.sched_queue_len()));
+    w.field("net_pending", static_cast<std::uint64_t>(
+                               world.network().pending(n.node_id())));
+    latency_histograms_json(w, n.stats());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+}  // namespace abcl::obs

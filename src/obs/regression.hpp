@@ -1,0 +1,52 @@
+// Counter-drift regression checking over JSON reports.
+//
+// Compares a candidate document (fresh bench/metrics output) against a
+// committed baseline, walking both trees in parallel. Numeric leaves must
+// agree within a relative tolerance; strings/bools must match exactly;
+// structure (keys, array lengths) must match. Keys in the ignore set —
+// host-dependent quantities like wall-clock and core counts — are skipped
+// wherever they appear.
+//
+// This is the CI hook behind `bench_regression_check`: tier-1 counters
+// (solutions, sim_time, quanta, packet counts) are deterministic, so any
+// drift beyond the tolerance means either a real regression or an
+// intentional cost-model change that must update the baseline in the same
+// PR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace abcl::obs {
+
+struct Drift {
+  std::string path;    // e.g. "runs[3].sim_time"
+  std::string detail;  // human-readable "baseline X, candidate Y (+Z%)"
+};
+
+struct CompareResult {
+  std::vector<Drift> drifts;
+  bool ok() const { return drifts.empty(); }
+  std::string to_string() const;  // one drift per line; empty when ok
+};
+
+// Host-dependent fields excluded from bench-trajectory comparison.
+extern const std::vector<std::string> kDefaultIgnoredKeys;  // wall_ms, host_cores
+
+CompareResult compare_json(const JsonValue& baseline, const JsonValue& candidate,
+                           double tol_pct,
+                           const std::vector<std::string>& ignored_keys =
+                               kDefaultIgnoredKeys);
+
+// File-level convenience: parses both files and compares. Parse or I/O
+// failures are reported as drifts so callers can treat any non-ok result
+// uniformly.
+CompareResult compare_json_files(const std::string& baseline_path,
+                                 const std::string& candidate_path,
+                                 double tol_pct,
+                                 const std::vector<std::string>& ignored_keys =
+                                     kDefaultIgnoredKeys);
+
+}  // namespace abcl::obs

@@ -100,7 +100,7 @@ void ParallelMachine::flush_window() {
                      });
     for (const auto& t : trace_merge_) {
       Tracer* dst = saved_tracers_[static_cast<std::size_t>(t.ev.node)];
-      if (dst != nullptr) dst->record(t.ev.t, t.ev.node, t.ev.kind);
+      if (dst != nullptr) dst->record(t.ev.t, t.ev.node, t.ev.kind, t.ev.payload);
     }
     trace_merge_.clear();
   }

@@ -61,8 +61,9 @@ class ParallelMachine : public Driver {
    public:
     WindowTraceBuffer() : Tracer(1) {}
     void set_current_key(Instr k) { key_ = k; }
-    void record(Instr t, NodeId node, TraceEv kind) override {
-      items_.push_back({key_, Event{t, node, kind}});
+    void record(Instr t, NodeId node, TraceEv kind,
+                std::uint64_t payload) override {
+      items_.push_back({key_, Event{t, node, kind, payload}});
     }
 
     struct Tagged {

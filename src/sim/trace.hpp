@@ -2,8 +2,16 @@
 //
 // A Tracer records timestamped per-node events into a fixed-capacity ring
 // (oldest events overwritten), cheap enough to leave attached during full
-// runs: one branch when disabled, one store when enabled. The World exposes
-// attach/snapshot helpers; `trace_demo` renders a text timeline.
+// runs: one branch when disabled, one store when enabled. Each event carries
+// a payload word whose meaning depends on the kind (scheduling-queue length,
+// pattern/handler id, class id, block-reason code) so trace consumers — the
+// text timeline in `trace_demo` and the Chrome/Perfetto exporter in
+// `obs/chrome_trace` — can reconstruct what the node was doing, not just
+// that it did something. The World exposes attach/snapshot helpers.
+//
+// Every payload is a simulated quantity (never a host pointer or host
+// time), so traces are bit-identical between the serial Machine and the
+// ParallelMachine at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -16,12 +24,12 @@
 namespace abcl::sim {
 
 enum class TraceEv : std::uint8_t {
-  kQuantum = 0,  // a scheduling quantum began
-  kSendRemote,   // packet handed to the network
-  kRecvRemote,   // packet polled and dispatched
-  kBlock,        // a method blocked (context spilled)
-  kResume,       // a blocked context resumed
-  kCreate,       // an object was created on this node
+  kQuantum = 0,  // a scheduling quantum began      (payload: sched queue len)
+  kSendRemote,   // packet handed to the network    (payload: pattern id)
+  kRecvRemote,   // packet polled and dispatched    (payload: handler id)
+  kBlock,        // a method blocked                (payload: block-reason code)
+  kResume,       // a blocked context resumed       (payload: class id)
+  kCreate,       // an object was created here      (payload: class id)
 };
 
 inline const char* to_string(TraceEv e) {
@@ -42,23 +50,30 @@ class Tracer {
     Instr t = 0;
     NodeId node = -1;
     TraceEv kind = TraceEv::kQuantum;
+    std::uint64_t payload = 0;  // kind-specific; see TraceEv comments
   };
 
-  explicit Tracer(std::size_t capacity = 1u << 16) : ring_(capacity) {}
+  // Capacity is clamped to >= 1: a zero-capacity ring would make record()'s
+  // index reduction a modulo-by-zero.
+  explicit Tracer(std::size_t capacity = 1u << 16)
+      : ring_(capacity == 0 ? 1 : capacity) {}
   virtual ~Tracer() = default;
 
   // Virtual so the host-parallel driver can interpose a per-worker buffer
   // that replays into the real tracer in canonical order at window barriers.
-  virtual void record(Instr t, NodeId node, TraceEv kind) {
+  virtual void record(Instr t, NodeId node, TraceEv kind,
+                      std::uint64_t payload = 0) {
     Event& e = ring_[head_];
     e.t = t;
     e.node = node;
     e.kind = kind;
+    e.payload = payload;
     head_ = (head_ + 1) % ring_.size();
     if (count_ < ring_.size()) ++count_;
     ++total_;
   }
 
+  std::size_t capacity() const { return ring_.size(); }
   std::size_t size() const { return count_; }
   std::uint64_t total_recorded() const { return total_; }
 

@@ -25,6 +25,11 @@ void RunningStat::merge(const RunningStat& o) {
 
 std::uint64_t Log2Histogram::percentile(double p) const {
   if (count_ == 0) return 0;
+  // Clamp p into [0,1] before the uint64_t cast: a negative product (or
+  // NaN) cast to uint64_t is undefined behaviour, and p > 1 would silently
+  // saturate to the max. The !(p > 0.0) form also catches NaN.
+  if (!(p > 0.0)) p = 0.0;
+  if (p > 1.0) p = 1.0;
   std::uint64_t target =
       static_cast<std::uint64_t>(p * static_cast<double>(count_));
   if (target >= count_) target = count_ - 1;

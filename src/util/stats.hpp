@@ -42,6 +42,10 @@ class RunningStat {
 };
 
 // Power-of-two bucketed histogram for latency-style distributions.
+//
+// Bucket i holds values in [2^(i-1), 2^i - 1] (bucket 0 holds {0}); the
+// add() clamp means bucket 63 additionally absorbs all values >= 2^63, so
+// its nominal upper bound (2^63 - 1) under-reports such outliers.
 class Log2Histogram {
  public:
   static constexpr int kBuckets = 64;
@@ -55,7 +59,9 @@ class Log2Histogram {
 
   std::uint64_t count() const { return count_; }
   std::uint64_t bucket(int i) const { return buckets_[i]; }
-  std::uint64_t percentile(double p) const;  // approximate (bucket upper bound)
+  // Approximate percentile (the containing bucket's upper bound). `p` is
+  // clamped into [0,1]; see the class comment for the bucket-63 caveat.
+  std::uint64_t percentile(double p) const;
   std::string to_string(int max_rows = 12) const;
 
   void merge(const Log2Histogram& o) {

@@ -12,6 +12,8 @@
 #include "apps/nqueens.hpp"
 #include "apps/pingpong.hpp"
 #include "apps/sieve.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -24,7 +26,7 @@ constexpr int kSerial = -1;
 const int kThreadCounts[] = {1, 2, 8};
 
 struct Fingerprint {
-  std::vector<std::tuple<sim::Instr, NodeId, int>> trace;
+  std::vector<std::tuple<sim::Instr, NodeId, int, std::uint64_t>> trace;
   std::uint64_t trace_total = 0;
   sim::Instr sim_time = 0;
   std::uint64_t quanta = 0;
@@ -38,12 +40,17 @@ struct Fingerprint {
   std::uint64_t local_sends = 0, remote_sends = 0, sched_dispatches = 0;
   std::uint64_t stock_hits = 0, blocks_await = 0, created = 0;
 
+  // Full serialized snapshots: the obs layer's determinism contract is that
+  // these strings are byte-identical across drivers, not merely equal-ish.
+  std::string metrics_json;
+  std::string chrome_json;
+
   bool operator==(const Fingerprint&) const = default;
 };
 
 void capture(World& world, const sim::Tracer& tracer, Fingerprint& fp) {
   for (const auto& ev : tracer.snapshot()) {
-    fp.trace.emplace_back(ev.t, ev.node, static_cast<int>(ev.kind));
+    fp.trace.emplace_back(ev.t, ev.node, static_cast<int>(ev.kind), ev.payload);
   }
   fp.trace_total = tracer.total_recorded();
   const net::Network::Stats& ns = world.network().stats();
@@ -63,6 +70,8 @@ void capture(World& world, const sim::Tracer& tracer, Fingerprint& fp) {
   fp.stock_hits = s.chunk_stock_hits;
   fp.blocks_await = s.blocks_await;
   fp.created = world.total_created_objects();
+  fp.metrics_json = obs::metrics_json(world);
+  fp.chrome_json = obs::chrome_trace_json(tracer);
 }
 
 Fingerprint run_nqueens_fp(int host_threads, int nodes, int n) {
@@ -139,6 +148,8 @@ void expect_identical(const Fingerprint& serial, const Fingerprint& par,
   for (std::size_t i = 0; i < serial.trace.size(); ++i) {
     ASSERT_EQ(par.trace[i], serial.trace[i]) << "first divergent event " << i;
   }
+  EXPECT_EQ(par.metrics_json, serial.metrics_json);
+  EXPECT_EQ(par.chrome_json, serial.chrome_json);
   EXPECT_TRUE(par == serial);  // any field the above missed
 }
 

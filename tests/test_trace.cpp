@@ -36,6 +36,41 @@ TEST(Tracer, RingOverwritesOldest) {
   EXPECT_EQ(ev.back().t, 9u);
 }
 
+// Regression: a zero-capacity ring used to make record() reduce its index
+// modulo zero (UB / SIGFPE). Capacity is now clamped to 1.
+TEST(Tracer, ZeroCapacityIsClampedToOne) {
+  sim::Tracer t(0);
+  EXPECT_EQ(t.capacity(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    t.record(static_cast<sim::Instr>(i), 0, sim::TraceEv::kQuantum,
+             static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.total_recorded(), 3u);
+  auto ev = t.snapshot();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].t, 2u);
+  EXPECT_EQ(ev[0].payload, 2u);
+}
+
+// After the ring wraps, snapshot() must still return the surviving suffix in
+// record order, with each event's payload travelling with it.
+TEST(Tracer, WrapAroundKeepsOrderAndPayloads) {
+  sim::Tracer t(4);
+  for (int i = 0; i < 11; ++i) {
+    t.record(static_cast<sim::Instr>(100 + i), i % 3, sim::TraceEv::kCreate,
+             static_cast<std::uint64_t>(1000 + i));
+  }
+  auto ev = t.snapshot();
+  ASSERT_EQ(ev.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    int logical = 7 + static_cast<int>(i);  // events 7..10 survive
+    EXPECT_EQ(ev[i].t, static_cast<sim::Instr>(100 + logical));
+    EXPECT_EQ(ev[i].node, logical % 3);
+    EXPECT_EQ(ev[i].payload, static_cast<std::uint64_t>(1000 + logical));
+  }
+}
+
 TEST(Tracer, ClearResets) {
   sim::Tracer t(4);
   t.record(1, 0, sim::TraceEv::kBlock);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -273,6 +274,39 @@ TEST(Log2Histogram, BucketsAndPercentile) {
   EXPECT_EQ(h.count(), 200u);
   EXPECT_LE(h.percentile(0.25), 1u);
   EXPECT_GE(h.percentile(0.9), 512u);
+}
+
+// Regression: percentile() used to cast p * count straight to uint64_t, so
+// a negative p (or NaN) was undefined behaviour and p > 1 silently
+// saturated. Out-of-range p now clamps to the distribution's endpoints.
+TEST(Log2Histogram, PercentileClampsOutOfRangeP) {
+  Log2Histogram h;
+  h.add(1);
+  h.add(1000);
+  std::uint64_t lo = h.percentile(0.0);
+  std::uint64_t hi = h.percentile(1.0);
+  EXPECT_EQ(h.percentile(-0.5), lo);
+  EXPECT_EQ(h.percentile(2.0), hi);
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), lo);
+  EXPECT_GE(hi, 512u);
+}
+
+TEST(Log2Histogram, PercentileOnEmptyIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(-1.0), 0u);
+}
+
+// Values >= 2^63 are absorbed into the top bucket rather than indexing past
+// the array. The percentile estimate for that bucket is its nominal upper
+// bound 2^63 - 1, which understates absorbed values — documented behaviour.
+TEST(Log2Histogram, TopBucketAbsorbsHugeValues) {
+  Log2Histogram h;
+  h.add(~0ull);
+  h.add(1ull << 63);
+  EXPECT_EQ(h.bucket(Log2Histogram::kBuckets - 1), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.percentile(1.0), (1ull << 63) - 1);
 }
 
 TEST(Log2Histogram, MergeAddsCounts) {
