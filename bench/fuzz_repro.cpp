@@ -1,0 +1,158 @@
+// fuzz_repro — replay / sweep / shrink CLI for the fuzz subsystem.
+//
+//   fuzz_repro --seed N [--dump FILE]        generate seed N, run the full
+//                                            oracle, optionally dump the spec
+//   fuzz_repro --spec FILE                   replay a committed spec file
+//   fuzz_repro --shrink FILE --out FILE      minimize a failing spec
+//   fuzz_repro --sweep N [--artifact-dir D]  oracle on seeds 1..N; failing
+//                                            specs (plus shrunk repros) are
+//                                            written to D; exit 1 on any
+//                                            failure
+//
+// Exit status: 0 = all checks passed, 1 = oracle failure, 2 = usage/I/O
+// error. CI runs `--sweep` as the extended fuzz job; developers replay
+// artifacts with `--spec`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/program_gen.hpp"
+#include "fuzz/shrinker.hpp"
+#include "fuzz/spec.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace abcl;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_repro --seed N [--dump FILE]\n"
+               "       fuzz_repro --spec FILE\n"
+               "       fuzz_repro --shrink FILE --out FILE\n"
+               "       fuzz_repro --sweep N [--artifact-dir D]\n");
+  return 2;
+}
+
+bool oracle_fails(const fuzz::Spec& s) { return !fuzz::check_spec(s).ok; }
+
+int check_and_report(const fuzz::Spec& spec, const std::string& label) {
+  fuzz::OracleResult r = fuzz::check_spec(spec);
+  if (r.ok) {
+    std::printf("%s: OK (%zu actions, %u steps, sim_time %llu)\n",
+                label.c_str(), spec.total_actions(),
+                static_cast<unsigned>(r.serial.total.steps_run),
+                static_cast<unsigned long long>(r.serial.sim_time));
+    return 0;
+  }
+  std::printf("%s: FAIL — %s\n", label.c_str(), r.failure.c_str());
+  return 1;
+}
+
+std::optional<fuzz::Spec> load(const std::string& path) {
+  std::optional<std::string> text = obs::read_file(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string err;
+  std::optional<fuzz::Spec> spec = fuzz::Spec::from_json(*text, &err);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", path.c_str(), err.c_str());
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode, arg, dump, out, artifact_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--seed" || a == "--spec" || a == "--shrink" || a == "--sweep") {
+      const char* v = next();
+      if (v == nullptr || !mode.empty()) return usage();
+      mode = a;
+      arg = v;
+    } else if (a == "--dump") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      dump = v;
+    } else if (a == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out = v;
+    } else if (a == "--artifact-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      artifact_dir = v;
+    } else {
+      return usage();
+    }
+  }
+  if (mode.empty()) return usage();
+
+  if (mode == "--seed") {
+    fuzz::Spec spec = fuzz::generate(std::strtoull(arg.c_str(), nullptr, 0));
+    if (!dump.empty() && !obs::write_file(dump, spec.to_json())) {
+      std::fprintf(stderr, "cannot write %s\n", dump.c_str());
+      return 2;
+    }
+    return check_and_report(spec, "seed " + arg);
+  }
+
+  if (mode == "--spec") {
+    std::optional<fuzz::Spec> spec = load(arg);
+    if (!spec.has_value()) return 2;
+    return check_and_report(*spec, arg);
+  }
+
+  if (mode == "--shrink") {
+    if (out.empty()) return usage();
+    std::optional<fuzz::Spec> spec = load(arg);
+    if (!spec.has_value()) return 2;
+    if (!oracle_fails(*spec)) {
+      std::fprintf(stderr, "%s passes the oracle; nothing to shrink\n",
+                   arg.c_str());
+      return 2;
+    }
+    fuzz::ShrinkStats st;
+    fuzz::Spec small = fuzz::shrink(*spec, oracle_fails, &st);
+    if (!obs::write_file(out, small.to_json())) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::printf("shrunk %zu -> %zu actions (%d rounds, %zu attempts) -> %s\n",
+                spec->total_actions(), small.total_actions(), st.rounds,
+                st.attempts, out.c_str());
+    return 1;  // the spec still fails, by construction
+  }
+
+  // --sweep
+  const std::uint64_t n = std::strtoull(arg.c_str(), nullptr, 0);
+  int failures = 0;
+  for (std::uint64_t seed = 1; seed <= n; ++seed) {
+    fuzz::Spec spec = fuzz::generate(seed);
+    fuzz::OracleResult r = fuzz::check_spec(spec);
+    if (r.ok) continue;
+    ++failures;
+    std::printf("seed %llu: FAIL — %s\n",
+                static_cast<unsigned long long>(seed), r.failure.c_str());
+    if (!artifact_dir.empty()) {
+      const std::string base =
+          artifact_dir + "/repro_seed_" + std::to_string(seed);
+      obs::write_file(base + ".json", spec.to_json());
+      fuzz::Spec small = fuzz::shrink(spec, oracle_fails, nullptr, 500);
+      obs::write_file(base + "_min.json", small.to_json());
+      obs::write_file(base + ".txt", r.failure);
+    }
+  }
+  std::printf("sweep 1..%llu: %d failure(s)\n",
+              static_cast<unsigned long long>(n), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -14,13 +14,42 @@ namespace {
 // binary can be parallelized without a rebuild: ABCLSIM_HOST_THREADS=8.
 int resolve_host_threads(int configured) {
   if (configured != 0) return configured;
-  const char* env = std::getenv("ABCLSIM_HOST_THREADS");
-  if (env == nullptr || *env == '\0') return 0;
-  int v = std::atoi(env);
-  return v < 0 ? 0 : v;
+  std::string err;
+  std::optional<int> v =
+      parse_host_threads(std::getenv("ABCLSIM_HOST_THREADS"), &err);
+  ABCL_CHECK_MSG(v.has_value(), err.c_str());
+  return *v;
 }
 
 }  // namespace
+
+std::optional<int> parse_host_threads(const char* text, std::string* err) {
+  if (text == nullptr || *text == '\0') return 0;  // unset: serial driver
+  const std::string raw = text;
+  std::size_t b = raw.find_first_not_of(" \t");
+  std::size_t e = raw.find_last_not_of(" \t");
+  auto fail = [&](const char* why) -> std::optional<int> {
+    if (err != nullptr) {
+      *err = "ABCLSIM_HOST_THREADS=\"" + raw + "\": " + why +
+             " (expected an integer in [1, 1024], or unset for the serial "
+             "driver)";
+    }
+    return std::nullopt;
+  };
+  if (b == std::string::npos) return fail("value is blank");
+  const std::string s = raw.substr(b, e - b + 1);
+  // atoi-style silent fallback hid typos ("8x", "eight") as thread-count 0;
+  // anything but a plain positive decimal is now an error.
+  if (s[0] == '-') return fail("thread count cannot be negative");
+  long v = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return fail("not a decimal integer");
+    v = v * 10 + (ch - '0');
+    if (v > 1024) return fail("thread count is implausibly large");
+  }
+  if (v == 0) return fail("thread count must be at least 1");
+  return static_cast<int>(v);
+}
 
 World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
   ABCL_CHECK_MSG(prog.finalized(), "finalize the Program before building a World");

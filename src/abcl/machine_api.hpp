@@ -8,6 +8,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/node_runtime.hpp"
@@ -26,12 +28,20 @@ struct WorldConfig {
   remote::PlacementKind placement = remote::PlacementKind::kRoundRobin;
   std::uint64_t seed = 1;
   // Host worker threads for the simulation driver. 0 = consult the
-  // ABCLSIM_HOST_THREADS environment variable (unset/empty/0 -> serial
-  // Machine); >= 1 = host-parallel ParallelMachine with that many workers;
+  // ABCLSIM_HOST_THREADS environment variable (unset/empty -> serial
+  // Machine; otherwise a strictly validated integer in [1, 1024]);
+  // >= 1 = host-parallel ParallelMachine with that many workers;
   // < 0 = force the serial Machine regardless of the environment. Results
   // are bit-identical across all settings.
   int host_threads = 0;
 };
+
+// Strict parser behind ABCLSIM_HOST_THREADS. nullptr/empty -> 0 (serial);
+// a decimal integer in [1, 1024] (surrounding blanks allowed) -> that
+// count; anything else -> nullopt with a diagnostic in *err. Garbage never
+// falls back silently: a typo in the variable aborts World construction
+// instead of quietly running serial.
+std::optional<int> parse_host_threads(const char* text, std::string* err);
 
 struct RunReport {
   sim::Instr sim_time = 0;       // end-of-run instant (max node clock)

@@ -634,12 +634,23 @@ void NodeRuntime::send_create_packet(const ClassInfo& cls, NodeId target,
                                      int nargs) {
   charge(cm_->send_setup);
   stats_.remote_sends += 1;
+  // Only ask the target to replenish while on-hand plus in-flight chunks
+  // sit below the steady-state target; an unconditional request overshoots
+  // without bound once a drained stock bursts back up. The request rides in
+  // bit 0 of the chunk address (pool chunks are at least 8-byte aligned),
+  // so the packet layout is unchanged.
+  std::uint16_t szcls = chunk->alloc_size_class;
+  const bool want_replenish =
+      !cfg_.disable_replenish &&
+      stock_.planned_depth(target, szcls) <
+          static_cast<std::size_t>(cfg_.chunk_stock_target);
+  if (want_replenish) stock_.note_replenish_requested(target, szcls);
   net::Packet pkt;
   pkt.handler = prog_->h_create(cls.id);
   pkt.src = id_;
   pkt.dst = target;
   pkt.send_time = clock_;
-  pkt.push(reinterpret_cast<Word>(chunk));
+  pkt.push(reinterpret_cast<Word>(chunk) | (want_replenish ? 1 : 0));
   for (int i = 0; i < nargs; ++i) pkt.push(args[i]);
   net_->send(std::move(pkt), net::AmCategory::kCreateRequest);
 }
@@ -742,7 +753,8 @@ void NodeRuntime::on_reply(const net::Packet& pkt) {
 
 void NodeRuntime::on_create(const net::Packet& pkt) {
   const ClassInfo& cls = prog_->cls(prog_->class_of_handler(pkt.handler));
-  auto* chunk = reinterpret_cast<ObjectHeader*>(pkt.at(0));
+  const bool want_replenish = (pkt.at(0) & 1) != 0;
+  auto* chunk = reinterpret_cast<ObjectHeader*>(pkt.at(0) & ~Word{1});
   ABCL_CHECK(chunk->home == id_);
   ABCL_CHECK_MSG(chunk->mode == Mode::kFault,
                  "creation request for an already-installed chunk");
@@ -767,7 +779,7 @@ void NodeRuntime::on_create(const net::Packet& pkt) {
     chunk->mode = Mode::kDormant;
   }
 
-  if (cfg_.disable_replenish) return;
+  if (cfg_.disable_replenish || !want_replenish) return;
 
   // Replenish the requester's stock (Category 3).
   ObjectHeader* fresh = format_chunk(chunk->alloc_size_class);
@@ -791,6 +803,7 @@ void NodeRuntime::on_alloc_request(const net::Packet& pkt) {
 void NodeRuntime::on_replenish(const net::Packet& pkt) {
   charge(cm_->chunk_replenish);
   std::uint16_t szcls = prog_->size_class_of_handler(pkt.handler);
+  stock_.note_replenish_arrived(pkt.src, szcls);
   stock_push(pkt.src, szcls, reinterpret_cast<ObjectHeader*>(pkt.at(0)));
 }
 

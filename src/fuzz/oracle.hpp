@@ -1,0 +1,108 @@
+// Differential + metamorphic oracle.
+//
+// The repo's determinism contract says a program's observable behavior is a
+// pure function of (program, config) — independent of the host driver. The
+// oracle turns that into a checked property per fuzz Spec:
+//
+//  1. Differential: run the Spec under the serial Machine and under
+//     ParallelMachine at 1/2/8 workers; the metrics_json snapshot must be
+//     byte-identical and the trace fingerprint (an order-sensitive hash of
+//     every trace event) must match exactly, along with sim time, quanta,
+//     per-node flow counters, network totals and the created-object count.
+//
+//  2. Invariants (any single run): the completion latch reports every boot
+//     chain done; message conservation (steps run == steps sent + boots,
+//     asks made == asks answered, tokens requested == emitted ==
+//     consumed + stray, creations begun == finished); created objects ==
+//     statics + latch + finished creations; and at quiescence no static
+//     object is left in waiting mode or with a non-empty queue.
+//
+//  3. Metamorphic: scaling the network cost model (wire latency x4,
+//     per-hop x2) must not change any flow-determined counter — the
+//     message *multiset* is schedule-independent even though interleavings,
+//     reply values and the got/stray token split are not — and must not
+//     shorten the simulated completion time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/interp.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace.hpp"
+
+namespace abcl::fuzz {
+
+// Order-sensitive fingerprint of the whole trace stream. Works identically
+// under ParallelMachine because per-worker buffers are replayed into the
+// attached tracer in canonical order at window barriers.
+class HashTracer final : public sim::Tracer {
+ public:
+  HashTracer() : sim::Tracer(1) {}
+
+  void record(sim::Instr t, sim::NodeId node, sim::TraceEv kind,
+              std::uint64_t payload) override {
+    std::uint64_t x = h_;
+    x = mix(x ^ static_cast<std::uint64_t>(t));
+    x = mix(x ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+                 << 8) ^
+            static_cast<std::uint64_t>(kind));
+    x = mix(x ^ payload);
+    h_ = x;
+    ++n_;
+  }
+
+  std::uint64_t hash() const { return h_; }
+  std::uint64_t events() const { return n_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t h_ = 0x9e3779b97f4a7c15ull;
+  std::uint64_t n_ = 0;
+};
+
+// Everything observable about one run of a Spec.
+struct RunResult {
+  std::string metrics_json;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t sim_time = 0;
+  std::uint64_t quanta = 0;
+  std::vector<Counters> per_node;
+  Counters total;
+  std::uint64_t packets = 0;
+  std::uint64_t wire_words = 0;
+  std::uint64_t per_category[4] = {};
+  std::uint64_t created = 0;
+  std::int64_t latch_received = 0;
+  std::int64_t latch_total = 0;
+  bool latch_done = false;
+  std::uint64_t waiting_objects = 0;
+  std::uint64_t queued_msgs = 0;
+};
+
+RunResult run_spec(const Spec& spec, int host_threads,
+                   const sim::CostModel& cost = sim::CostModel::ap1000());
+
+struct OracleOptions {
+  std::vector<int> thread_counts = {1, 2, 8};
+  bool metamorphic = true;
+};
+
+struct OracleResult {
+  bool ok = true;
+  std::string failure;  // first failed check, human-readable
+  RunResult serial;
+};
+
+// Runs the full oracle on `spec`. Also usable as the shrinker's
+// still-failing predicate via !check_spec(spec).ok.
+OracleResult check_spec(const Spec& spec, const OracleOptions& opts = {});
+
+}  // namespace abcl::fuzz

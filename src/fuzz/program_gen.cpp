@@ -1,0 +1,128 @@
+#include "fuzz/program_gen.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace abcl::fuzz {
+
+namespace {
+
+std::int32_t pick(util::Xoshiro256& rng, std::int32_t lo, std::int32_t hi) {
+  return lo + static_cast<std::int32_t>(
+                  rng.below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+// One action for the script of static object `index` (or a dynamic
+// template when index < 0). Weighted op bag: sends and creates dominate so
+// traffic is dense; blocking ops appear only where a legal target exists.
+Action gen_action(util::Xoshiro256& rng, const Spec& s, std::int32_t index) {
+  const auto nobjects = static_cast<std::int32_t>(s.objects.size());
+  const auto ndynamic = static_cast<std::int32_t>(s.dynamic.size());
+  const bool is_dynamic = index < 0;
+  const bool can_block = is_dynamic || index < nobjects - 1;
+
+  std::vector<Op> bag;
+  auto add = [&bag](Op op, int weight) {
+    for (int i = 0; i < weight; ++i) bag.push_back(op);
+  };
+  add(Op::kForward, 3);
+  add(Op::kSprayWide, 2);
+  add(Op::kCompute, 2);
+  if (can_block) {
+    add(Op::kAsk, 2);
+    add(Op::kSelectToken, 1);
+    add(Op::kHybrid, 1);
+  }
+  if (!is_dynamic && ndynamic > 0) add(Op::kCreate, 3);
+
+  Action a;
+  a.op = bag[rng.below(bag.size())];
+  switch (a.op) {
+    case Op::kForward:
+      a.a = pick(rng, 0, nobjects - 1);
+      break;
+    case Op::kSprayWide:
+      a.a = pick(rng, 0, nobjects - 1);
+      a.b = pick(rng, 1, 3);
+      break;
+    case Op::kCompute:
+      a.a = pick(rng, 1, 12);
+      break;
+    case Op::kAsk:
+    case Op::kSelectToken:
+    case Op::kHybrid:
+      a.a = is_dynamic ? pick(rng, 0, nobjects - 1)
+                       : pick(rng, index + 1, nobjects - 1);
+      break;
+    case Op::kCreate:
+      a.a = pick(rng, 0, ndynamic - 1);
+      a.b = pick(rng, 0, s.nodes - 1);
+      break;
+  }
+  return a;
+}
+
+}  // namespace
+
+Spec generate(std::uint64_t seed, const GenConfig& cfg) {
+  std::uint64_t sm = seed;
+  util::Xoshiro256 rng(util::splitmix64(sm));
+
+  Spec s;
+  s.seed = seed;
+  s.nodes = pick(rng, 1, cfg.max_nodes);
+
+  // Runtime knobs, stress-biased: tiny call depths force preemption
+  // buffering, tiny reduction budgets force yield spills, empty stocks
+  // force split-phase creation, and the occasional replenish ablation
+  // keeps stocks permanently drained.
+  constexpr std::int32_t kDepths[] = {3, 8, 48};
+  constexpr std::uint32_t kBudgets[] = {96, 512, 4096};
+  constexpr std::int32_t kStocks[] = {0, 0, 1, 2};
+  s.max_call_depth = kDepths[rng.below(3)];
+  s.reduction_budget = kBudgets[rng.below(3)];
+  s.seed_stock_depth = kStocks[rng.below(4)];
+  s.disable_replenish = rng.below(8) == 0;
+
+  const std::int32_t nobjects = pick(rng, 2, cfg.max_objects);
+  for (std::int32_t i = 0; i < nobjects; ++i) {
+    ObjectSpec os;
+    os.node = pick(rng, 0, s.nodes - 1);
+    s.objects.push_back(std::move(os));
+  }
+  const std::int32_t ndynamic = pick(rng, 0, cfg.max_dynamic);
+  for (std::int32_t i = 0; i < ndynamic; ++i) {
+    s.dynamic.push_back(ObjectSpec{});
+  }
+
+  for (std::int32_t i = 0; i < nobjects; ++i) {
+    const std::int32_t len = pick(rng, 1, cfg.max_script);
+    for (std::int32_t j = 0; j < len; ++j) {
+      s.objects[static_cast<std::size_t>(i)].script.push_back(
+          gen_action(rng, s, i));
+    }
+  }
+  for (std::int32_t i = 0; i < ndynamic; ++i) {
+    const std::int32_t len = pick(rng, 1, 4);
+    for (std::int32_t j = 0; j < len; ++j) {
+      s.dynamic[static_cast<std::size_t>(i)].script.push_back(
+          gen_action(rng, s, -1));
+    }
+  }
+
+  const std::int32_t nboot = pick(rng, 1, cfg.max_boot);
+  for (std::int32_t i = 0; i < nboot; ++i) {
+    BootMsg bm;
+    bm.target = pick(rng, 0, nobjects - 1);
+    bm.fuel = pick(rng, 1, cfg.max_fuel);
+    s.boot.push_back(bm);
+  }
+
+  std::string verr;
+  ABCL_CHECK_MSG(s.validate(&verr), "generator produced an invalid spec");
+  return s;
+}
+
+}  // namespace abcl::fuzz

@@ -1,0 +1,31 @@
+// Seeded random-program generator. Same seed -> same Spec, bit-for-bit
+// (Xoshiro256 is platform-reproducible), which is what lets the committed
+// corpus in tests/test_fuzz.cpp stand in for the programs themselves.
+//
+// Generated programs respect every Spec::validate() invariant by
+// construction: blocking targets are drawn strictly above the asking
+// object's index (acyclic wait-for), message-producing ops are fuel-gated,
+// dynamic templates never create. The knobs (call depth, reduction budget,
+// stock depth, replenish ablation) are drawn from small stress-biased sets
+// so low-probability runtime paths — preemption spills, chunk-stock
+// exhaustion, split-phase creation — appear often in any 64-seed corpus.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/spec.hpp"
+
+namespace abcl::fuzz {
+
+struct GenConfig {
+  std::int32_t max_nodes = 12;
+  std::int32_t max_objects = 10;  // static objects: 2..max_objects
+  std::int32_t max_script = 6;    // actions per static script: 1..max_script
+  std::int32_t max_dynamic = 3;   // dynamic templates: 0..max_dynamic
+  std::int32_t max_boot = 5;      // boot chains: 1..max_boot
+  std::int32_t max_fuel = 10;     // chain fuel: 1..max_fuel
+};
+
+Spec generate(std::uint64_t seed, const GenConfig& cfg = {});
+
+}  // namespace abcl::fuzz

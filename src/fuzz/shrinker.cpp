@@ -1,0 +1,187 @@
+#include "fuzz/shrinker.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace abcl::fuzz {
+
+namespace {
+
+bool is_blocking(Op op) {
+  return op == Op::kAsk || op == Op::kSelectToken || op == Op::kHybrid;
+}
+
+bool targets_static(Op op) {
+  return op == Op::kForward || op == Op::kSprayWide || is_blocking(op);
+}
+
+// Removes static object `gone` and remaps every reference. Blocking
+// references to the removed object drop their action (retargeting could
+// break the acyclic-wait order; validate() would reject most retargets
+// anyway); plain sends wrap around.
+Spec drop_object(const Spec& s, std::size_t gone) {
+  Spec out = s;
+  out.objects.erase(out.objects.begin() + static_cast<std::ptrdiff_t>(gone));
+  const auto remaining = static_cast<std::int32_t>(out.objects.size());
+  const auto g = static_cast<std::int32_t>(gone);
+  auto fix_script = [&](std::vector<Action>& script) {
+    std::vector<Action> kept;
+    for (Action a : script) {
+      if (targets_static(a.op)) {
+        if (a.a == g) {
+          if (is_blocking(a.op) || remaining == 0) continue;
+          a.a = a.a % remaining;
+        } else if (a.a > g) {
+          a.a -= 1;
+        }
+      }
+      kept.push_back(a);
+    }
+    script = std::move(kept);
+  };
+  for (ObjectSpec& os : out.objects) fix_script(os.script);
+  for (ObjectSpec& os : out.dynamic) fix_script(os.script);
+  std::vector<BootMsg> boot;
+  for (BootMsg bm : out.boot) {
+    if (bm.target == g) continue;
+    if (bm.target > g) bm.target -= 1;
+    boot.push_back(bm);
+  }
+  out.boot = std::move(boot);
+  return out;
+}
+
+Spec drop_dynamic(const Spec& s, std::size_t gone) {
+  Spec out = s;
+  out.dynamic.erase(out.dynamic.begin() + static_cast<std::ptrdiff_t>(gone));
+  const auto g = static_cast<std::int32_t>(gone);
+  for (ObjectSpec& os : out.objects) {
+    std::vector<Action> kept;
+    for (Action a : os.script) {
+      if (a.op == Op::kCreate) {
+        if (a.a == g) continue;
+        if (a.a > g) a.a -= 1;
+      }
+      kept.push_back(a);
+    }
+    os.script = std::move(kept);
+  }
+  return out;
+}
+
+// All single-edit candidates, largest cuts first — the order determines
+// how fast the greedy loop descends.
+std::vector<Spec> candidates(const Spec& s) {
+  std::vector<Spec> out;
+  for (std::size_t i = 0; i < s.objects.size(); ++i) {
+    out.push_back(drop_object(s, i));
+  }
+  for (std::size_t i = 0; i < s.dynamic.size(); ++i) {
+    out.push_back(drop_dynamic(s, i));
+  }
+  for (std::size_t i = 0; i < s.boot.size(); ++i) {
+    Spec c = s;
+    c.boot.erase(c.boot.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  for (int dyn = 0; dyn < 2; ++dyn) {
+    const auto& pool = dyn != 0 ? s.dynamic : s.objects;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t j = 0; j < pool[i].script.size(); ++j) {
+        Spec c = s;
+        auto& script = (dyn != 0 ? c.dynamic : c.objects)[i].script;
+        script.erase(script.begin() + static_cast<std::ptrdiff_t>(j));
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < s.boot.size(); ++i) {
+    if (s.boot[i].fuel > 0) {
+      Spec c = s;
+      c.boot[i].fuel /= 2;
+      out.push_back(std::move(c));
+    }
+  }
+  for (int dyn = 0; dyn < 2; ++dyn) {
+    const auto& pool = dyn != 0 ? s.dynamic : s.objects;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t j = 0; j < pool[i].script.size(); ++j) {
+        const Action& a = pool[i].script[j];
+        if ((a.op == Op::kCompute && a.a > 1) ||
+            (a.op == Op::kSprayWide && a.b > 1)) {
+          Spec c = s;
+          Action& ca = (dyn != 0 ? c.dynamic : c.objects)[i].script[j];
+          if (ca.op == Op::kCompute) {
+            ca.a /= 2;
+          } else {
+            ca.b /= 2;
+          }
+          out.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  if (s.nodes > 1) {
+    Spec c = s;
+    c.nodes = (c.nodes + 1) / 2;
+    for (ObjectSpec& os : c.objects) os.node %= c.nodes;
+    for (ObjectSpec& os : c.objects) {
+      for (Action& a : os.script) {
+        if (a.op == Op::kCreate) a.b %= c.nodes;
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  if (s.seed_stock_depth != 0) {
+    Spec c = s;
+    c.seed_stock_depth = 0;
+    out.push_back(std::move(c));
+  }
+  if (s.disable_replenish) {
+    Spec c = s;
+    c.disable_replenish = false;
+    out.push_back(std::move(c));
+  }
+  if (s.max_call_depth != 48) {
+    Spec c = s;
+    c.max_call_depth = 48;
+    out.push_back(std::move(c));
+  }
+  if (s.reduction_budget != 4096) {
+    Spec c = s;
+    c.reduction_budget = 4096;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+Spec shrink(const Spec& failing, const FailPred& still_fails,
+            ShrinkStats* stats, std::size_t max_attempts) {
+  ABCL_CHECK_MSG(still_fails(failing), "shrink: input does not fail");
+  Spec cur = failing;
+  ShrinkStats st;
+  bool changed = true;
+  while (changed && st.attempts < max_attempts) {
+    changed = false;
+    st.rounds += 1;
+    for (Spec& cand : candidates(cur)) {
+      if (st.attempts >= max_attempts) break;
+      if (!cand.validate()) continue;
+      st.attempts += 1;
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        st.accepted += 1;
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  return cur;
+}
+
+}  // namespace abcl::fuzz

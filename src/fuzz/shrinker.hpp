@@ -1,0 +1,38 @@
+// Greedy spec reduction (delta debugging over the Spec structure).
+//
+// Given a Spec on which some predicate holds (canonically "the oracle
+// fails"), the shrinker repeatedly tries structure-removing edits — drop a
+// boot chain, drop a whole object (remapping references), drop a dynamic
+// template, drop a single action, halve fuel / compute iterations / spray
+// width / node count, reset the stress knobs — and keeps any edit after
+// which the spec still validates and the predicate still holds. It loops to
+// a fixpoint, so the result is 1-minimal with respect to the edit set: no
+// single remaining edit preserves the failure.
+//
+// The predicate sees only the candidate Spec, so the same machinery shrinks
+// oracle failures, crash repros (run under a death-test wrapper), or
+// synthetic properties in tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/spec.hpp"
+
+namespace abcl::fuzz {
+
+using FailPred = std::function<bool(const Spec&)>;
+
+struct ShrinkStats {
+  int rounds = 0;            // fixpoint iterations
+  std::size_t attempts = 0;  // candidate evaluations (predicate calls)
+  std::size_t accepted = 0;  // edits kept
+};
+
+// `failing` must satisfy `still_fails`; returns a (possibly identical)
+// spec that still satisfies it. `max_attempts` bounds total predicate
+// evaluations so a pathological predicate cannot loop forever.
+Spec shrink(const Spec& failing, const FailPred& still_fails,
+            ShrinkStats* stats = nullptr, std::size_t max_attempts = 5000);
+
+}  // namespace abcl::fuzz

@@ -1,0 +1,281 @@
+#include "fuzz/spec.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace abcl::fuzz {
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool validate_script(const Spec& s, const ObjectSpec& os, bool is_dynamic,
+                     std::int32_t index, std::string* error) {
+  const auto nobjects = static_cast<std::int32_t>(s.objects.size());
+  const auto ndynamic = static_cast<std::int32_t>(s.dynamic.size());
+  const std::string who =
+      (is_dynamic ? "dynamic[" : "objects[") + std::to_string(index) + "]";
+  if (!is_dynamic && (os.node < 0 || os.node >= s.nodes)) {
+    return fail(error, who + ".node out of range");
+  }
+  if (os.script.size() > 4096) return fail(error, who + ".script too long");
+  for (std::size_t j = 0; j < os.script.size(); ++j) {
+    const Action& act = os.script[j];
+    const std::string where = who + ".script[" + std::to_string(j) + "]";
+    switch (act.op) {
+      case Op::kForward:
+        if (act.a < 0 || act.a >= nobjects) {
+          return fail(error, where + ": forward target out of range");
+        }
+        break;
+      case Op::kSprayWide:
+        if (act.a < 0 || act.a >= nobjects) {
+          return fail(error, where + ": spray base out of range");
+        }
+        if (act.b < 1 || act.b > 8) {
+          return fail(error, where + ": spray count not in [1,8]");
+        }
+        break;
+      case Op::kCompute:
+        if (act.a < 1 || act.a > 64) {
+          return fail(error, where + ": compute iterations not in [1,64]");
+        }
+        break;
+      case Op::kAsk:
+      case Op::kSelectToken:
+      case Op::kHybrid:
+        // Acyclic wait-for: static objects block only on strictly higher
+        // indices; dynamic objects block only on static objects (which can
+        // never block back on a dynamic one).
+        if (is_dynamic) {
+          if (act.a < 0 || act.a >= nobjects) {
+            return fail(error, where + ": blocking target out of range");
+          }
+        } else if (act.a <= index || act.a >= nobjects) {
+          return fail(error,
+                      where + ": blocking target must be a higher index");
+        }
+        break;
+      case Op::kCreate:
+        if (is_dynamic) {
+          return fail(error, where + ": kCreate not allowed in dynamic scripts");
+        }
+        if (act.a < 0 || act.a >= ndynamic) {
+          return fail(error, where + ": dynamic template out of range");
+        }
+        if (act.b < 0 || act.b >= s.nodes) {
+          return fail(error, where + ": creation node out of range");
+        }
+        break;
+      default:
+        return fail(error, where + ": unknown op");
+    }
+  }
+  return true;
+}
+
+void action_json(obs::JsonWriter& w, const Action& a) {
+  w.begin_array();
+  w.value(static_cast<std::int64_t>(a.op));
+  w.value(static_cast<std::int64_t>(a.a));
+  w.value(static_cast<std::int64_t>(a.b));
+  w.end_array();
+}
+
+void object_json(obs::JsonWriter& w, const ObjectSpec& os) {
+  w.begin_object();
+  w.field("node", static_cast<std::int64_t>(os.node));
+  w.key("script");
+  w.begin_array();
+  for (const Action& a : os.script) action_json(w, a);
+  w.end_array();
+  w.end_object();
+}
+
+bool read_i32(const obs::JsonValue* v, std::int32_t* out) {
+  if (v == nullptr || v->kind != obs::JsonValue::Kind::kNumber ||
+      !v->is_integer) {
+    return false;
+  }
+  *out = static_cast<std::int32_t>(v->integer);
+  return true;
+}
+
+bool read_action(const obs::JsonValue& v, Action* out) {
+  if (v.kind != obs::JsonValue::Kind::kArray || v.array.size() != 3) {
+    return false;
+  }
+  std::int32_t op = 0;
+  if (!read_i32(&v.array[0], &op) || !read_i32(&v.array[1], &out->a) ||
+      !read_i32(&v.array[2], &out->b)) {
+    return false;
+  }
+  if (op < 0 || op >= kNumOps) return false;
+  out->op = static_cast<Op>(op);
+  return true;
+}
+
+bool read_objects(const obs::JsonValue* v, std::vector<ObjectSpec>* out) {
+  if (v == nullptr || v->kind != obs::JsonValue::Kind::kArray) return false;
+  for (const obs::JsonValue& ov : v->array) {
+    if (ov.kind != obs::JsonValue::Kind::kObject) return false;
+    ObjectSpec os;
+    if (!read_i32(ov.find("node"), &os.node)) return false;
+    const obs::JsonValue* script = ov.find("script");
+    if (script == nullptr || script->kind != obs::JsonValue::Kind::kArray) {
+      return false;
+    }
+    for (const obs::JsonValue& av : script->array) {
+      Action a;
+      if (!read_action(av, &a)) return false;
+      os.script.push_back(a);
+    }
+    out->push_back(std::move(os));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t Spec::total_actions() const {
+  std::size_t n = boot.size();
+  for (const ObjectSpec& os : objects) n += os.script.size();
+  for (const ObjectSpec& os : dynamic) n += os.script.size();
+  return n;
+}
+
+bool Spec::validate(std::string* error) const {
+  if (nodes < 1 || nodes > 1024) return fail(error, "nodes not in [1,1024]");
+  if (max_call_depth < 1) return fail(error, "max_call_depth < 1");
+  if (reduction_budget < 1) return fail(error, "reduction_budget < 1");
+  if (seed_stock_depth < 0 || seed_stock_depth > 64) {
+    return fail(error, "seed_stock_depth not in [0,64]");
+  }
+  if (objects.empty() || objects.size() > 4096) {
+    return fail(error, "objects count not in [1,4096]");
+  }
+  if (dynamic.size() > 4096) return fail(error, "too many dynamic templates");
+  if (boot.size() > 4096) return fail(error, "too many boot messages");
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (!validate_script(*this, objects[i], false,
+                         static_cast<std::int32_t>(i), error)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < dynamic.size(); ++i) {
+    if (!validate_script(*this, dynamic[i], true, static_cast<std::int32_t>(i),
+                         error)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < boot.size(); ++i) {
+    const BootMsg& bm = boot[i];
+    if (bm.target < 0 ||
+        bm.target >= static_cast<std::int32_t>(objects.size())) {
+      return fail(error, "boot[" + std::to_string(i) + "].target out of range");
+    }
+    if (bm.fuel < 0 || bm.fuel > 64) {
+      return fail(error, "boot[" + std::to_string(i) + "].fuel not in [0,64]");
+    }
+  }
+  return true;
+}
+
+std::string Spec::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSpecSchema);
+  w.field("seed", seed);
+  w.field("nodes", static_cast<std::int64_t>(nodes));
+  w.field("max_call_depth", static_cast<std::int64_t>(max_call_depth));
+  w.field("reduction_budget", static_cast<std::uint64_t>(reduction_budget));
+  w.field("seed_stock_depth", static_cast<std::int64_t>(seed_stock_depth));
+  w.field("disable_replenish", disable_replenish);
+  w.key("objects");
+  w.begin_array();
+  for (const ObjectSpec& os : objects) object_json(w, os);
+  w.end_array();
+  w.key("dynamic");
+  w.begin_array();
+  for (const ObjectSpec& os : dynamic) object_json(w, os);
+  w.end_array();
+  w.key("boot");
+  w.begin_array();
+  for (const BootMsg& bm : boot) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(bm.target));
+    w.value(static_cast<std::int64_t>(bm.fuel));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::optional<Spec> Spec::from_json(std::string_view text, std::string* error) {
+  std::optional<obs::JsonValue> root = obs::parse_json(text, error);
+  if (!root.has_value()) return std::nullopt;
+  auto bad = [&](const char* what) -> std::optional<Spec> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  const obs::JsonValue* schema = root->find("schema");
+  if (schema == nullptr || schema->kind != obs::JsonValue::Kind::kString ||
+      schema->string != kSpecSchema) {
+    return bad("missing or unknown spec schema");
+  }
+  Spec s;
+  const obs::JsonValue* seed = root->find("seed");
+  if (seed == nullptr || seed->kind != obs::JsonValue::Kind::kNumber ||
+      !seed->is_integer) {
+    return bad("bad seed");
+  }
+  s.seed = static_cast<std::uint64_t>(seed->integer);
+  std::int32_t budget = 0;
+  if (!read_i32(root->find("nodes"), &s.nodes) ||
+      !read_i32(root->find("max_call_depth"), &s.max_call_depth) ||
+      !read_i32(root->find("reduction_budget"), &budget) ||
+      !read_i32(root->find("seed_stock_depth"), &s.seed_stock_depth)) {
+    return bad("bad numeric field");
+  }
+  if (budget < 1) return bad("bad reduction_budget");
+  s.reduction_budget = static_cast<std::uint32_t>(budget);
+  const obs::JsonValue* dis = root->find("disable_replenish");
+  if (dis == nullptr || dis->kind != obs::JsonValue::Kind::kBool) {
+    return bad("bad disable_replenish");
+  }
+  s.disable_replenish = dis->boolean;
+  if (!read_objects(root->find("objects"), &s.objects)) {
+    return bad("bad objects array");
+  }
+  if (!read_objects(root->find("dynamic"), &s.dynamic)) {
+    return bad("bad dynamic array");
+  }
+  const obs::JsonValue* boot = root->find("boot");
+  if (boot == nullptr || boot->kind != obs::JsonValue::Kind::kArray) {
+    return bad("bad boot array");
+  }
+  for (const obs::JsonValue& bv : boot->array) {
+    if (bv.kind != obs::JsonValue::Kind::kArray || bv.array.size() != 2) {
+      return bad("bad boot entry");
+    }
+    BootMsg bm;
+    if (!read_i32(&bv.array[0], &bm.target) ||
+        !read_i32(&bv.array[1], &bm.fuel)) {
+      return bad("bad boot entry");
+    }
+    s.boot.push_back(bm);
+  }
+  std::string verr;
+  if (!s.validate(&verr)) {
+    if (error != nullptr) *error = "invalid spec: " + verr;
+    return std::nullopt;
+  }
+  return s;
+}
+
+}  // namespace abcl::fuzz

@@ -1,0 +1,100 @@
+// Fuzz program specification — a .cpp-free description of a random ABCL
+// program, interpretable by the generic actor in fuzz/interp and
+// serializable to JSON (so a failing program can be committed as a repro
+// and replayed with the fuzz_repro CLI).
+//
+// A Spec names a set of *static* objects (created at boot, one script
+// each), a set of *dynamic* object templates (instantiated at runtime via
+// the remote-creation protocol) and a set of boot messages that start
+// bounded message chains. Scripts are straight-line action lists; every
+// action is one of the Op kinds below, chosen to cover the runtime's mode
+// transitions: past sends (dormant->active dispatch and queuing), now sends
+// (await blocking), selective reception (waiting-mode VFT), hybrid
+// await-or-select, preemption yields, and remote creations (chunk-stock
+// fast path + split-phase fallback + messages racing into fault mode).
+//
+// Termination is guaranteed by construction (validate() enforces it):
+//  * fuel bounds the total number of chain-forward steps, and spray
+//    messages carry zero fuel, so the message population is finite;
+//  * blocking actions (ask / select / hybrid) of static object i may only
+//    target objects with index > i, and dynamic objects may only target
+//    static objects while never being targets themselves, so the wait-for
+//    graph is acyclic and every blocked object eventually resumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abcl::fuzz {
+
+enum class Op : std::int32_t {
+  kForward = 0,     // chain step: send fz.step to object `a` (fuel-gated)
+  kSprayWide = 1,   // send `b` zero-fuel steps to objects a, a+1, ... (mod N)
+  kCompute = 2,     // charge+ABCL_YIELD loop of `a` iterations (preemption)
+  kAsk = 3,         // now-type fz.ask to object `a`, await the reply
+  kSelectToken = 4, // request a token from `a`, ABCL_SELECT on it (waiting)
+  kHybrid = 5,      // request token + ask from `a`, ABCL_AWAIT_OR_SELECT
+  kCreate = 6,      // remote-create dynamic template `a` on node `b`
+};
+inline constexpr std::int32_t kNumOps = 7;
+
+struct Action {
+  Op op = Op::kForward;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+
+  bool operator==(const Action&) const = default;
+};
+
+struct ObjectSpec {
+  std::int32_t node = 0;  // home node (static objects only; dynamic
+                          // templates take their node from the kCreate site)
+  std::vector<Action> script;
+
+  bool operator==(const ObjectSpec&) const = default;
+};
+
+struct BootMsg {
+  std::int32_t target = 0;  // static object index
+  std::int32_t fuel = 0;    // chain length budget
+
+  bool operator==(const BootMsg&) const = default;
+};
+
+struct Spec {
+  std::uint64_t seed = 0;  // provenance only; the program is the data below
+
+  // World shape / runtime knobs under test.
+  std::int32_t nodes = 1;
+  std::int32_t max_call_depth = 48;
+  std::uint32_t reduction_budget = 4096;
+  std::int32_t seed_stock_depth = 0;  // World::seed_stocks warm start
+  bool disable_replenish = false;     // Category-3 ablation
+
+  std::vector<ObjectSpec> objects;  // static, index-addressed
+  std::vector<ObjectSpec> dynamic;  // templates for kCreate
+  std::vector<BootMsg> boot;        // one chain each
+
+  bool operator==(const Spec&) const = default;
+
+  // Actions across all scripts plus boot messages — the size measure the
+  // shrinker minimizes.
+  std::size_t total_actions() const;
+
+  // Checks every structural and termination invariant documented above.
+  // Returns false (with a description) on the first violation; interp
+  // refuses to run an invalid Spec.
+  bool validate(std::string* error = nullptr) const;
+
+  // Deterministic JSON round-trip (schema "abclsim-fuzz-spec-v1").
+  std::string to_json() const;
+  static std::optional<Spec> from_json(std::string_view text,
+                                       std::string* error = nullptr);
+};
+
+inline constexpr const char* kSpecSchema = "abclsim-fuzz-spec-v1";
+
+}  // namespace abcl::fuzz

@@ -53,6 +53,32 @@ class ChunkStock {
     return it == stocks_.end() ? 0 : it->second.size();
   }
 
+  // Replenish-in-flight bookkeeping. A creator that requests a replenish
+  // with every create packet overshoots the steady-state target as soon as
+  // the stock is drained and then bursts back up; tracking requests that
+  // have not yet arrived lets the creator cap depth + pending at the
+  // target. note_replenish_arrived clamps at zero so a replenish that
+  // predates the bookkeeping (e.g. seeded mid-flight) cannot underflow.
+  void note_replenish_requested(core::NodeId peer, std::uint16_t size_class) {
+    pending_[key(peer, size_class)] += 1;
+  }
+
+  void note_replenish_arrived(core::NodeId peer, std::uint16_t size_class) {
+    auto it = pending_.find(key(peer, size_class));
+    if (it != pending_.end() && it->second > 0) it->second -= 1;
+  }
+
+  std::size_t pending_replenish(core::NodeId peer,
+                                std::uint16_t size_class) const {
+    auto it = pending_.find(key(peer, size_class));
+    return it == pending_.end() ? 0 : it->second;
+  }
+
+  // Chunks usable without further wire traffic: on hand plus in flight.
+  std::size_t planned_depth(core::NodeId peer, std::uint16_t size_class) const {
+    return depth(peer, size_class) + pending_replenish(peer, size_class);
+  }
+
   std::size_t total_chunks() const {
     std::size_t n = 0;
     for (const auto& [k, v] : stocks_) n += v.size();
@@ -68,6 +94,7 @@ class ChunkStock {
   }
 
   std::unordered_map<std::uint64_t, std::vector<core::ObjectHeader*>> stocks_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_;
   Stats stats_;
 };
 

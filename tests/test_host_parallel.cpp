@@ -211,5 +211,38 @@ TEST(HostThreads, EnvVariableSelectsDriver) {
   }
 }
 
+TEST(HostThreads, ParserAcceptsPlainPositiveIntegers) {
+  std::string err;
+  EXPECT_EQ(parse_host_threads(nullptr, &err), 0);  // unset -> serial
+  EXPECT_EQ(parse_host_threads("", &err), 0);       // empty -> serial
+  EXPECT_EQ(parse_host_threads("1", &err), 1);
+  EXPECT_EQ(parse_host_threads("8", &err), 8);
+  EXPECT_EQ(parse_host_threads("  16\t", &err), 16);  // blanks tolerated
+  EXPECT_EQ(parse_host_threads("1024", &err), 1024);
+}
+
+TEST(HostThreads, ParserRejectsGarbageZeroAndNegative) {
+  auto reject = [](const char* text, const char* why_fragment) {
+    std::string err;
+    std::optional<int> v = parse_host_threads(text, &err);
+    EXPECT_FALSE(v.has_value()) << "\"" << text << "\" should be rejected";
+    EXPECT_NE(err.find(text), std::string::npos)
+        << "diagnostic must echo the offending value: " << err;
+    EXPECT_NE(err.find(why_fragment), std::string::npos)
+        << "diagnostic for \"" << text << "\" should mention '"
+        << why_fragment << "', got: " << err;
+  };
+  reject("0", "at least 1");
+  reject("-4", "negative");
+  reject("-0", "negative");
+  reject("eight", "not a decimal integer");
+  reject("8x", "not a decimal integer");
+  reject("3.5", "not a decimal integer");
+  reject("+8", "not a decimal integer");  // atoi accepted this silently
+  reject("1025", "implausibly large");
+  reject("99999999999999999999", "implausibly large");  // no overflow UB
+  reject(" ", "blank");
+}
+
 }  // namespace
 

@@ -24,6 +24,71 @@ TEST(Patterns, InternAssignsDenseIds) {
   EXPECT_EQ(reg.id_of("msg.b"), b);
 }
 
+TEST(Patterns, EmptyRegistryMatchesNothing) {
+  core::PatternRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.frozen());
+  // A frozen empty registry is legal (a program with no patterns); it just
+  // can never dispatch anything.
+  reg.freeze();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(PatternsDeath, UnknownLookupAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  core::PatternRegistry reg;
+  reg.intern("msg.a", 0);
+  EXPECT_DEATH(reg.id_of("msg.zzz"), "unknown message pattern");
+  core::PatternRegistry empty;
+  EXPECT_DEATH(empty.id_of("anything"), "unknown message pattern");
+}
+
+TEST(WaitSite, EmptyAcceptSetMatchesNoPattern) {
+  // A selective-reception site with no accepted patterns: every arrival
+  // must fall through to the queuing path, none may restore the frame.
+  core::WaitSite ws;
+  for (PatternId p = 0; p < 8; ++p) EXPECT_EQ(ws.find(p), nullptr);
+}
+
+TEST(WaitSite, OverlappingAcceptsFirstRegisteredWins) {
+  // Two accepts for the same pattern (e.g. two textual arms of one select
+  // matching the same message): the first registered arm must win,
+  // deterministically, and its continuation pc is the one restored.
+  core::WaitSite ws;
+  ws.accepts.push_back(core::WaitSite::Accept{7, nullptr, 11});
+  ws.accepts.push_back(core::WaitSite::Accept{7, nullptr, 22});
+  ws.accepts.push_back(core::WaitSite::Accept{3, nullptr, 33});
+  const core::WaitSite::Accept* a = ws.find(7);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->resume_pc, 11);  // first match, not last
+  const core::WaitSite::Accept* b = ws.find(3);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->resume_pc, 33);
+  EXPECT_EQ(ws.find(4), nullptr);
+}
+
+TEST(WaitSite, SpecificAcceptBeatsGenericQueueFallback) {
+  // The waiting table is the wildcard-vs-specific split: awaited patterns
+  // get the specific restore entry, every other pattern falls through to
+  // the catch-all queuing entry — priority is encoded structurally, per
+  // slot, not by scan order at delivery time.
+  core::Program prog;
+  auto bp = apps::register_buffer(prog);
+  prog.finalize();
+  const core::WaitSite& ws = *bp.cls->wait_sites[0];
+  std::size_t restores = 0;
+  for (std::size_t p = 0; p < prog.patterns().size(); ++p) {
+    auto pid = static_cast<PatternId>(p);
+    if (ws.find(pid) != nullptr) {
+      EXPECT_EQ(ws.vft.entry(pid), &core::select_restore_entry);
+      ++restores;
+    } else {
+      EXPECT_EQ(ws.vft.entry(pid), &core::generic_queue_entry);
+    }
+  }
+  EXPECT_EQ(restores, 1u);  // the wait-empty site awaits exactly `put`
+}
+
 TEST(PatternsDeath, ArityMismatchAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   core::PatternRegistry reg;

@@ -58,6 +58,51 @@ TEST(ChunkStock, PushPopDepth) {
   EXPECT_EQ(stock.stats().pushes, 2u);
 }
 
+TEST(ChunkStock, PendingReplenishClampsAtZero) {
+  remote::ChunkStock stock;
+  // An arrival with no recorded request (e.g. one seeded mid-flight before
+  // the bookkeeping saw it) must clamp at zero, not wrap around.
+  stock.note_replenish_arrived(1, 3);
+  EXPECT_EQ(stock.pending_replenish(1, 3), 0u);
+  stock.note_replenish_requested(1, 3);
+  stock.note_replenish_requested(1, 3);
+  EXPECT_EQ(stock.pending_replenish(1, 3), 2u);
+  EXPECT_EQ(stock.pending_replenish(2, 3), 0u);  // distinct peer
+  stock.note_replenish_arrived(1, 3);
+  stock.note_replenish_arrived(1, 3);
+  stock.note_replenish_arrived(1, 3);  // over-arrival clamps
+  EXPECT_EQ(stock.pending_replenish(1, 3), 0u);
+  auto c = reinterpret_cast<core::ObjectHeader*>(0x1000);
+  stock.push(1, 3, c);
+  stock.note_replenish_requested(1, 3);
+  EXPECT_EQ(stock.planned_depth(1, 3), 2u);  // on hand + in flight
+}
+
+TEST(RemoteCreate, OverfullStockDrainsBackToTargetInsteadOfGrowing) {
+  // Regression: replenishment used to be unconditional — one Category-3
+  // message per create, regardless of how deep the creator's stock already
+  // was. A stock seeded above chunk_stock_target then stayed above it
+  // forever (pop + unconditional push-back), and a burst of creates after a
+  // drain overshot without bound. With replenish requests gated on
+  // depth + in-flight < target, an overfull stock must decay to the target.
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 2;
+  World world(fx.prog, cfg);
+  world.seed_stocks(*fx.counter.cls, 4);  // above the default target of 2
+  MailAddr sp;
+  world.boot(0, [&](Ctx& ctx) { sp = ctx.create_local(*fx.spawner.cls, nullptr, 0); });
+  for (int i = 0; i < 8; ++i) {
+    fx.make(world, sp, 1, 1);
+    world.run();
+  }
+  auto st = world.total_stats();
+  EXPECT_EQ(st.chunk_stock_misses, 0u);  // never drained dry
+  EXPECT_EQ(st.chunk_stock_hits, 8u);
+  EXPECT_LE(world.node(0).stock_depth(1, fx.counter_szcls()), 2u)
+      << "stock must decay to chunk_stock_target, not hold its seeded depth";
+}
+
 TEST(RemoteCreate, FirstCreateMissesThenStockStaysWarm) {
   Fixture fx;
   WorldConfig cfg;

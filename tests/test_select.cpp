@@ -498,6 +498,124 @@ TEST(HybridWait, DepthBoundReplyAndCancelRace) {
   EXPECT_TRUE(r.ptr->mq.empty());
 }
 
+// ---------------------------------------------------------------------------
+// Waiting-mode MVFT: while an object is blocked at a selective-reception
+// site, every non-matching message must be buffered (none executed, none
+// reordered, none lost), and once the awaited pattern arrives the buffered
+// messages replay preserving each sender's FIFO order (Section 3.1's
+// per-(src,dst) ordering guarantee carried through the waiting table).
+// ---------------------------------------------------------------------------
+
+namespace fifo_mvft {
+
+struct WaiterState {
+  Word log[32];
+  int nlog = 0;
+};
+
+constexpr std::uint16_t kPcGo = 1;
+
+struct StartFrame : Frame {
+  Word go_v = 0;
+  static void init(StartFrame&, const Msg&) {}
+  static void copy_go(StartFrame& f, const Msg& m) { f.go_v = m.at(0); }
+  static Status run(Ctx& ctx, WaiterState& self, StartFrame& f) {
+    ABCL_BEGIN(f);
+    ABCL_SELECT(ctx, self, f, /*site=*/0);
+    case kPcGo:
+      if (self.nlog < 32) self.log[self.nlog++] = f.go_v;
+    ABCL_END();
+  }
+};
+
+struct NoteFrame : Frame {
+  Word v = 0;
+  static void init(NoteFrame& f, const Msg& m) { f.v = m.at(0); }
+  static Status run(Ctx&, WaiterState& self, NoteFrame& f) {
+    if (self.nlog < 32) self.log[self.nlog++] = f.v;
+    return Status::kDone;
+  }
+};
+
+struct Prog {
+  PatternId start = 0, note = 0, go = 0;
+  const core::ClassInfo* cls = nullptr;
+};
+
+Prog register_waiter(core::Program& prog) {
+  Prog wp;
+  wp.start = prog.patterns().intern("w.start", 0);
+  wp.note = prog.patterns().intern("w.note", 1);
+  wp.go = prog.patterns().intern("w.go", 1);
+  ClassDef<WaiterState> def(prog, "Waiter");
+  def.method<StartFrame>(wp.start);
+  def.method<NoteFrame>(wp.note);
+  std::int32_t site = def.wait_site<StartFrame>();
+  ABCL_CHECK(site == 0);
+  def.accept<StartFrame, &StartFrame::copy_go>(site, wp.go, kPcGo);
+  wp.cls = &def.info();
+  return wp;
+}
+
+}  // namespace fifo_mvft
+
+TEST(Select, WaitingModeQueuesNonMatchingAndPreservesPerSourceFifo) {
+  core::Program prog;
+  auto wp = fifo_mvft::register_waiter(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 3;
+  World world(prog, cfg);
+  MailAddr w;
+  world.boot(0, [&](Ctx& ctx) {
+    w = ctx.create_local(*wp.cls, nullptr, 0);
+    ctx.send_past(w, wp.start, nullptr, 0);
+  });
+  world.run();
+  ASSERT_EQ(w.ptr->mode, core::Mode::kWaiting);
+  ASSERT_EQ(w.ptr->vftp->wait_site, 0);
+
+  // Two remote sources flood the waiter with messages its site does not
+  // accept. Nothing may run; everything must buffer.
+  world.boot(1, [&](Ctx& ctx) {
+    for (Word v = 101; v <= 103; ++v) ctx.send_past(w, wp.note, &v, 1);
+  });
+  world.boot(2, [&](Ctx& ctx) {
+    for (Word v = 201; v <= 203; ++v) ctx.send_past(w, wp.note, &v, 1);
+  });
+  world.run();
+  EXPECT_EQ(w.ptr->mode, core::Mode::kWaiting);
+  EXPECT_EQ(w.ptr->mq.size(), 6u);
+  EXPECT_EQ(w.ptr->state_as<fifo_mvft::WaiterState>()->nlog, 0);
+
+  // The awaited pattern arrives: the select resumes first, then the six
+  // deferred notes replay.
+  world.boot(1, [&](Ctx& ctx) {
+    Word v = 42;
+    ctx.send_past(w, wp.go, &v, 1);
+  });
+  world.run();
+  const auto& st = *w.ptr->state_as<fifo_mvft::WaiterState>();
+  EXPECT_EQ(w.ptr->mode, core::Mode::kDormant);
+  EXPECT_TRUE(w.ptr->mq.empty());
+  ASSERT_EQ(st.nlog, 7);
+  EXPECT_EQ(st.log[0], 42u);
+  // Each sender's messages must come out in its send order; the
+  // interleaving BETWEEN senders is the network's business.
+  std::vector<Word> from1, from2;
+  for (int i = 1; i < 7; ++i) {
+    (st.log[i] < 200 ? from1 : from2).push_back(st.log[i]);
+  }
+  ASSERT_EQ(from1.size(), 3u);
+  ASSERT_EQ(from2.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(from1[static_cast<std::size_t>(i)], 101u + static_cast<Word>(i))
+        << "per-(src,dst) FIFO broken for node 1";
+    EXPECT_EQ(from2[static_cast<std::size_t>(i)], 201u + static_cast<Word>(i))
+        << "per-(src,dst) FIFO broken for node 2";
+  }
+}
+
 // Parameterized: the full producer/consumer flow balances for any mix of
 // order, policy and node count.
 class SelectFlow

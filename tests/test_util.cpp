@@ -189,6 +189,93 @@ TEST(IntrusiveFifo, ReuseAfterPop) {
   EXPECT_EQ(q.pop_front(), &a);
 }
 
+TEST(IntrusiveFifo, RemoveOnlyElementResetsBothEnds) {
+  Fifo q;
+  Node a;
+  a.v = 1;
+  q.push_back(&a);
+  EXPECT_EQ(q.remove_first_if([](const Node& x) { return x.v == 1; }), &a);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.front(), nullptr);
+  // Head AND tail must both be reset, or this push corrupts the list.
+  Node b;
+  b.v = 2;
+  q.push_back(&b);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop_front(), &b);
+  EXPECT_EQ(q.pop_front(), nullptr);
+}
+
+TEST(IntrusiveFifo, SpliceByDrainingPreservesOrderAcrossQueues) {
+  // The runtime's "splice" idiom: selective reception drains one object's
+  // queue into the scheduler queue by pop/push. Relative order must be
+  // preserved and the source queue left reusable.
+  Fifo src, dst;
+  Node n[6];
+  for (int i = 0; i < 6; ++i) {
+    n[i].v = i;
+    (i < 4 ? src : dst).push_back(&n[i]);
+  }
+  while (Node* p = src.pop_front()) dst.push_back(p);
+  EXPECT_TRUE(src.empty());
+  ASSERT_EQ(dst.size(), 6u);
+  int expect[] = {4, 5, 0, 1, 2, 3};
+  for (int e : expect) EXPECT_EQ(dst.pop_front()->v, e);
+  src.push_back(&n[0]);  // drained source must still be linkable
+  EXPECT_EQ(src.size(), 1u);
+}
+
+TEST(IntrusiveFifo, EraseDuringIterationViaRepeatedRemoveFirstIf) {
+  // Erasing while scanning: the supported idiom is remove_first_if per
+  // match (the pattern scan of Section 2.4's selective reception). Remove
+  // every even element from a 6-node queue, then check the survivors'
+  // links — including the tail — are intact.
+  Fifo q;
+  Node n[6];
+  for (int i = 0; i < 6; ++i) {
+    n[i].v = i;
+    q.push_back(&n[i]);
+  }
+  auto even = [](const Node& x) { return x.v % 2 == 0; };
+  EXPECT_EQ(q.remove_first_if(even), &n[0]);  // head
+  EXPECT_EQ(q.remove_first_if(even), &n[2]);  // interior
+  EXPECT_EQ(q.remove_first_if(even), &n[4]);  // interior adjacent to tail
+  EXPECT_EQ(q.remove_first_if(even), nullptr);
+  EXPECT_EQ(q.size(), 3u);
+  int seen[3] = {0, 0, 0};
+  int i = 0;
+  q.for_each([&](const Node& x) { seen[i++] = x.v; });
+  EXPECT_EQ(seen[0], 1);
+  EXPECT_EQ(seen[1], 3);
+  EXPECT_EQ(seen[2], 5);
+  // n[5] is still the tail: appending must land after it.
+  Node extra;
+  extra.v = 7;
+  q.push_back(&extra);
+  EXPECT_EQ(q.pop_front(), &n[1]);
+  EXPECT_EQ(q.pop_front(), &n[3]);
+  EXPECT_EQ(q.pop_front(), &n[5]);
+  EXPECT_EQ(q.pop_front(), &extra);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(IntrusiveFifo, RemoveTailThenPushRepairsTailPointer) {
+  Fifo q;
+  Node a, b;
+  a.v = 1;
+  b.v = 2;
+  q.push_back(&a);
+  q.push_back(&b);
+  EXPECT_EQ(q.remove_first_if([](const Node& x) { return x.v == 2; }), &b);
+  // Tail now points at a; push must chain after a, not after stale b.
+  Node c;
+  c.v = 3;
+  q.push_back(&c);
+  EXPECT_EQ(q.pop_front(), &a);
+  EXPECT_EQ(q.pop_front(), &c);
+  EXPECT_TRUE(q.empty());
+}
+
 // ----------------------------------------------------------------- RNG -----
 
 TEST(Rng, DeterministicPerSeed) {
