@@ -1,0 +1,196 @@
+// Hot-path memory-subsystem ablation: slab-pooled node heaps + recycled
+// packet buffers (the default) vs general-purpose allocation on every
+// request (WorldConfig::pooling = false).
+//
+// Both modes run the same Figure-5-style N-queens workload (P = 64 nodes)
+// under the serial Machine and the 8-thread ParallelMachine. Pooling is a
+// host-side policy, so every simulated quantity — solutions, sim_time,
+// quanta, packet counts, the slab alloc/free totals — must be identical
+// across modes AND byte-identical across drivers; any divergence fails the
+// bench. The wall-clock columns are where the modes are allowed to differ,
+// and the pooled mode must win (reported, not gated — host timing is too
+// noisy for CI pass/fail).
+//
+// Machine-readable counters land in BENCH_alloc.json (override with
+// ABCLSIM_BENCH_JSON). Everything in it except wall_ms/host_cores is
+// deterministic; CI regression-compares it against the committed baseline.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "apps/nqueens.hpp"
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace abcl;
+
+struct Sample {
+  double wall_ms = 0.0;
+  std::int64_t solutions = 0;
+  sim::Instr sim_time = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t packets = 0;
+  util::SlabAllocator::Stats alloc;
+  std::string metrics;
+};
+
+Sample run_once(bool pooling, int host_threads, const apps::NQueensParams& p) {
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg = WorldConfig{}
+                        .with_nodes(64)
+                        .with_host_threads(host_threads == 0 ? -1 : host_threads)
+                        .with_pooling(pooling);
+  World world(prog, cfg);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = apps::run_nqueens(world, np, p);
+  auto t1 = std::chrono::steady_clock::now();
+
+  Sample s;
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  s.solutions = r.solutions;
+  s.sim_time = r.sim_time;
+  s.quanta = r.rep.quanta;
+  s.packets = world.network().stats().packets;
+  s.alloc = world.total_alloc_stats();
+  s.metrics = obs::metrics_json(world, &r.rep);
+  return s;
+}
+
+// Best-of-k wall time; counters/metrics are identical across repeats by the
+// determinism contract (asserted in main for the run pairs that matter).
+Sample run_best(bool pooling, int host_threads, const apps::NQueensParams& p,
+                int reps) {
+  Sample best = run_once(pooling, host_threads, p);
+  for (int i = 1; i < reps; ++i) {
+    Sample s = run_once(pooling, host_threads, p);
+    if (s.wall_ms < best.wall_ms) best = s;
+  }
+  return best;
+}
+
+void alloc_fields(std::FILE* f, const util::SlabAllocator::Stats& a) {
+  std::fprintf(f,
+               "\"allocs\": %llu, \"frees\": %llu, \"freelist_hits\": %llu, "
+               "\"slab_refills\": %llu, \"slots_carved\": %llu, "
+               "\"backing_bytes\": %llu",
+               static_cast<unsigned long long>(a.allocs),
+               static_cast<unsigned long long>(a.frees),
+               static_cast<unsigned long long>(a.freelist_hits),
+               static_cast<unsigned long long>(a.slab_refills),
+               static_cast<unsigned long long>(a.slots_carved),
+               static_cast<unsigned long long>(a.backing_bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // accepted for interface uniformity
+  bench::header("Memory subsystem ablation: slab/packet pooling on vs off");
+
+  const int n = bench::env_int("ABCLSIM_NQUEENS_N", 9);
+  const int reps = bench::env_int("ABCLSIM_BENCH_REPS", 3);
+  const auto p = apps::NQueensParams::paper_calibrated(n);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("N = %d, P = 64, host cores = %u, best of %d\n", n, cores, reps);
+
+  bool ok = true;
+  auto check = [&](bool cond, const char* what) {
+    if (!cond) {
+      ok = false;
+      std::printf("FAIL: %s\n", what);
+    }
+  };
+
+  Sample pooled_serial = run_best(true, 0, p, reps);
+  Sample pooled_par8 = run_best(true, 8, p, reps);
+  Sample heap_serial = run_best(false, 0, p, reps);
+  Sample heap_par8 = run_best(false, 8, p, reps);
+
+  // Cross-driver byte-identity, per mode.
+  check(pooled_serial.metrics == pooled_par8.metrics,
+        "pooling on: serial vs 8-thread metrics snapshots differ");
+  check(heap_serial.metrics == heap_par8.metrics,
+        "pooling off: serial vs 8-thread metrics snapshots differ");
+
+  // Pooling must not change the simulation.
+  check(pooled_serial.solutions == heap_serial.solutions &&
+            pooled_serial.sim_time == heap_serial.sim_time &&
+            pooled_serial.quanta == heap_serial.quanta &&
+            pooled_serial.packets == heap_serial.packets,
+        "pooling changed simulated results");
+  check(pooled_serial.alloc.allocs == heap_serial.alloc.allocs &&
+            pooled_serial.alloc.frees == heap_serial.alloc.frees,
+        "pooling changed the allocation sequence");
+
+  // The pooled mode must actually recycle. Long-lived structures never
+  // return, so the denominator is the churn: every free makes a slot
+  // eligible for reuse, and most of them must come back as freelist hits.
+  check(pooled_serial.alloc.freelist_hits * 2 > pooled_serial.alloc.frees,
+        "slab freelists barely used");
+  check(pooled_serial.alloc.backing_bytes < heap_serial.alloc.backing_bytes,
+        "pooled backing memory not below the unpooled baseline");
+  check(heap_serial.alloc.freelist_hits == 0 &&
+            heap_serial.alloc.slab_refills == 0,
+        "unpooled mode unexpectedly touched the slab machinery");
+
+  struct Row {
+    const char* mode;
+    const char* driver;
+    const Sample* s;
+  };
+  const Row rows[] = {{"pooled", "serial", &pooled_serial},
+                      {"pooled", "8 threads", &pooled_par8},
+                      {"heap", "serial", &heap_serial},
+                      {"heap", "8 threads", &heap_par8}};
+  util::Table t({"Mode", "Driver", "Wall (ms)", "ns/msg", "Freelist hits",
+                 "Slab refills", "Backing KiB"});
+  for (const Row& r : rows) {
+    double ns_per_msg = r.s->packets == 0
+                            ? 0.0
+                            : r.s->wall_ms * 1e6 /
+                                  static_cast<double>(r.s->packets);
+    t.add_row({r.mode, r.driver, util::Table::num(r.s->wall_ms, 1),
+               util::Table::num(ns_per_msg, 0),
+               util::Table::num(r.s->alloc.freelist_hits),
+               util::Table::num(r.s->alloc.slab_refills),
+               util::Table::num(r.s->alloc.backing_bytes >> 10)});
+  }
+  t.print();
+  std::printf("pooled vs heap wall: %.2fx (serial), %.2fx (8 threads)\n",
+              heap_serial.wall_ms / pooled_serial.wall_ms,
+              heap_par8.wall_ms / pooled_par8.wall_ms);
+
+  const char* path = std::getenv("ABCLSIM_BENCH_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_alloc.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"alloc_ablation_nqueens\",\n");
+    std::fprintf(f, "  \"n\": %d,\n  \"host_cores\": %u,\n", n, cores);
+    std::fprintf(f, "  \"gates_passed\": %s,\n", ok ? "true" : "false");
+    std::fprintf(f,
+                 "  \"solutions\": %lld,\n  \"sim_time\": %llu,\n"
+                 "  \"quanta\": %llu,\n  \"packets\": %llu,\n",
+                 static_cast<long long>(pooled_serial.solutions),
+                 static_cast<unsigned long long>(pooled_serial.sim_time),
+                 static_cast<unsigned long long>(pooled_serial.quanta),
+                 static_cast<unsigned long long>(pooled_serial.packets));
+    std::fprintf(f, "  \"pooled\": {\"wall_ms\": %.3f, ", pooled_serial.wall_ms);
+    alloc_fields(f, pooled_serial.alloc);
+    std::fprintf(f, "},\n  \"unpooled\": {\"wall_ms\": %.3f, ",
+                 heap_serial.wall_ms);
+    alloc_fields(f, heap_serial.alloc);
+    std::fprintf(f, "}\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::printf("could not open %s for writing\n", path);
+  }
+  return ok ? 0 : 1;
+}

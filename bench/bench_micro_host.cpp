@@ -9,6 +9,7 @@
 #include "sim/machine.hpp"
 #include "util/arena.hpp"
 #include "util/intrusive_list.hpp"
+#include "util/slab.hpp"
 
 namespace {
 
@@ -16,16 +17,33 @@ using namespace abcl;
 
 // ---- allocators -------------------------------------------------------------
 
-void BM_PoolAllocFree(benchmark::State& state) {
+// state.range(0): 1 = slab-pooled, 0 = the general-purpose ablation mode.
+void BM_SlabAllocFree(benchmark::State& state) {
   util::Arena arena;
-  util::PoolAllocator pool(arena);
+  util::SlabAllocator pool(arena, state.range(0) != 0);
   for (auto _ : state) {
     void* p = pool.allocate(128);
     benchmark::DoNotOptimize(p);
     pool.deallocate(p, 128);
   }
 }
-BENCHMARK(BM_PoolAllocFree);
+BENCHMARK(BM_SlabAllocFree)->Arg(1)->Arg(0);
+
+// Frame-churn shape: a burst of live frames across classes, then release —
+// the pattern a dispatch cascade produces (the single-slot ping-pong above
+// flatters any allocator).
+void BM_SlabChurn(benchmark::State& state) {
+  util::Arena arena;
+  util::SlabAllocator pool(arena, state.range(0) != 0);
+  void* live[64];
+  const std::size_t sizes[4] = {48, 96, 160, 320};
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) live[i] = pool.allocate(sizes[i & 3]);
+    for (int i = 63; i >= 0; --i) pool.deallocate(live[i], sizes[i & 3]);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SlabChurn)->Arg(1)->Arg(0);
 
 void BM_ArenaBump(benchmark::State& state) {
   util::Arena arena;
@@ -50,9 +68,11 @@ BENCHMARK(BM_MsgQueuePushPop);
 
 // ---- network ----------------------------------------------------------------
 
+// state.range(0): 1 = recycled packet slots, 0 = per-send heap allocation.
 void BM_NetworkSendPoll(benchmark::State& state) {
   sim::CostModel cm = sim::CostModel::ap1000();
-  net::Network net(net::Topology(net::TopologyKind::kTorus2D, 64), &cm);
+  net::Network net(net::Topology(net::TopologyKind::kTorus2D, 64), &cm, {},
+                   state.range(0) != 0);
   sim::Instr t = 0;
   for (auto _ : state) {
     net::Packet p;
@@ -67,7 +87,38 @@ void BM_NetworkSendPoll(benchmark::State& state) {
     benchmark::DoNotOptimize(got);
   }
 }
-BENCHMARK(BM_NetworkSendPoll);
+BENCHMARK(BM_NetworkSendPoll)->Arg(1)->Arg(0);
+
+// Same, but against a standing queue of 256 in-flight packets: heap sifts
+// now move 24-byte slot refs instead of whole Packets, which is where the
+// pooled queue wins.
+void BM_NetworkSendPollDeep(benchmark::State& state) {
+  sim::CostModel cm = sim::CostModel::ap1000();
+  net::Network net(net::Topology(net::TopologyKind::kTorus2D, 64), &cm, {},
+                   state.range(0) != 0);
+  sim::Instr t = 0;
+  auto send_one = [&](std::int32_t src) {
+    net::Packet p;
+    p.handler = 0;
+    p.src = src;
+    p.dst = 37;
+    p.send_time = t;
+    p.push(42);
+    net.send(std::move(p), net::AmCategory::kObjectMessage);
+  };
+  for (std::int32_t s = 0; s < 64; ++s) {
+    for (int i = 0; i < 4; ++i) send_one(s);
+  }
+  ++t;
+  for (auto _ : state) {
+    send_one(static_cast<std::int32_t>(t % 64));
+    ++t;
+    net::Packet out;
+    bool got = net.poll(37, sim::kInstrInf, out);
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_NetworkSendPollDeep)->Arg(1)->Arg(0);
 
 // ---- end-to-end dispatch ------------------------------------------------------
 

@@ -23,9 +23,7 @@ int main(int argc, char** argv) {
   apps::FibProgram fp = apps::register_fib(prog);
   prog.finalize();
 
-  WorldConfig cfg;
-  cfg.nodes = nodes;
-  World world(prog, cfg);
+  World world(prog, WorldConfig::from_env().with_nodes(nodes));
   apps::FibResult r = apps::run_fib(world, fp, n);
 
   core::NodeStats st = world.total_stats();

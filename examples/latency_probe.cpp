@@ -28,9 +28,7 @@ int main(int argc, char** argv) {
   apps::PingPongProgram pp = apps::register_pingpong(prog);
   prog.finalize();
 
-  WorldConfig cfg;
-  cfg.nodes = nodes;
-  World world(prog, cfg);
+  World world(prog, WorldConfig::from_env().with_nodes(nodes));
   int hops = world.network().topology().hops(a, b);
 
   apps::PingPongResult r =

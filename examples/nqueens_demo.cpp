@@ -26,9 +26,7 @@ int main(int argc, char** argv) {
   apps::NQueensProgram np = apps::register_nqueens(prog);
   prog.finalize();
 
-  WorldConfig cfg;
-  cfg.nodes = nodes;
-  World world(prog, cfg);
+  World world(prog, WorldConfig::from_env().with_nodes(nodes));
 
   auto params = apps::NQueensParams::paper_calibrated(n);
   apps::NQueensResult r = apps::run_nqueens(world, np, params);
@@ -43,7 +41,7 @@ int main(int argc, char** argv) {
   std::printf("  messages         : %llu\n",
               static_cast<unsigned long long>(r.messages));
   std::printf("  simulated time   : %.2f ms   (sequential: %.2f ms)\n", r.sim_ms,
-              cfg.cost.ms(seq.charged));
+              world.config().cost.ms(seq.charged));
   std::printf("  speedup          : %.1fx on %d nodes (%.0f%% utilization)\n",
               static_cast<double>(seq.charged) / static_cast<double>(r.sim_time),
               nodes,

@@ -25,9 +25,7 @@ int main(int argc, char** argv) {
   apps::SieveProgram sp = apps::register_sieve(prog);
   prog.finalize();
 
-  WorldConfig cfg;
-  cfg.nodes = nodes;
-  World world(prog, cfg);
+  World world(prog, WorldConfig::from_env().with_nodes(nodes));
   apps::SieveResult r = apps::run_sieve(world, sp, limit);
 
   std::printf("sieve up to %lld on %d simulated nodes\n",

@@ -64,9 +64,7 @@ int main(int argc, char** argv) {
   consumer_def.method<ConsumerGoFrame>(cons_go);
   prog.finalize();
 
-  WorldConfig cfg;
-  cfg.nodes = nodes;
-  World world(prog, cfg);
+  World world(prog, WorldConfig::from_env().with_nodes(nodes));
 
   // Buffer on node 0, consumer on the last node, producer on node 1 (or 0).
   MailAddr buf, consumer;

@@ -22,9 +22,9 @@ int main() {
   prog.finalize();
 
   // 2. A 4-node torus, paper-calibrated cost model (25 MHz SPARC nodes).
-  WorldConfig cfg;
-  cfg.nodes = 4;
-  World world(prog, cfg);
+  // from_env() resolves ABCLSIM_HOST_THREADS / ABCLSIM_POOLING, so the
+  // same binary runs serial or host-parallel, pooled or not, via env.
+  World world(prog, WorldConfig::from_env().with_nodes(4));
 
   // 3. Create one counter per node and send messages around.
   MailAddr counters[4];

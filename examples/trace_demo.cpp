@@ -34,9 +34,7 @@ int main(int argc, char** argv) {
   apps::NQueensProgram np = apps::register_nqueens(prog);
   prog.finalize();
 
-  WorldConfig cfg;
-  cfg.nodes = nodes;
-  World world(prog, cfg);
+  World world(prog, WorldConfig::from_env().with_nodes(nodes));
   sim::Tracer tracer(1u << 20);
   world.attach_tracer(&tracer);
 

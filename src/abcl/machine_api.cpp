@@ -21,7 +21,34 @@ int resolve_host_threads(int configured) {
   return *v;
 }
 
+// ABCLSIM_POOLING follows the same strictness discipline as
+// ABCLSIM_HOST_THREADS: a typo aborts instead of silently picking a mode.
+bool parse_pooling_env(const char* text) {
+  if (text == nullptr || *text == '\0') return true;  // unset: pooled
+  const std::string s = text;
+  if (s == "1" || s == "true" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "off") return false;
+  ABCL_CHECK_MSG(false, ("ABCLSIM_POOLING=\"" + s +
+                         "\": expected 1/true/on or 0/false/off, or unset "
+                         "for pooled allocation")
+                            .c_str());
+  return true;
+}
+
 }  // namespace
+
+WorldConfig WorldConfig::from_env() {
+  WorldConfig cfg;
+  std::string err;
+  std::optional<int> threads =
+      parse_host_threads(std::getenv("ABCLSIM_HOST_THREADS"), &err);
+  ABCL_CHECK_MSG(threads.has_value(), err.c_str());
+  // Record the resolved decision: -1 forces serial, so constructing a World
+  // from this config later never re-reads the environment.
+  cfg.host_threads = *threads == 0 ? -1 : *threads;
+  cfg.pooling = parse_pooling_env(std::getenv("ABCLSIM_POOLING"));
+  return cfg;
+}
 
 std::optional<int> parse_host_threads(const char* text, std::string* err) {
   if (text == nullptr || *text == '\0') return 0;  // unset: serial driver
@@ -56,12 +83,14 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
   ABCL_CHECK(cfg_.nodes >= 1);
 
   net_ = std::make_unique<net::Network>(
-      net::Topology(cfg_.topology, cfg_.nodes), &cfg_.cost);
+      net::Topology(cfg_.topology, cfg_.nodes), &cfg_.cost,
+      std::function<void(core::NodeId)>{}, cfg_.pooling);
 
   nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
     core::NodeRuntime::Config nc = cfg_.node;
     nc.seed = cfg_.seed;
+    nc.pooling = cfg_.pooling;
     auto rt = std::make_unique<core::NodeRuntime>(i, prog, *net_, cfg_.cost, nc);
     rt->placement().set_kind(cfg_.placement);
     nodes_.push_back(std::move(rt));
@@ -147,6 +176,12 @@ double World::mean_utilization() const {
 core::NodeStats World::total_stats() const {
   core::NodeStats total;
   for (const auto& n : nodes_) total.merge(n->stats());
+  return total;
+}
+
+util::SlabAllocator::Stats World::total_alloc_stats() const {
+  util::SlabAllocator::Stats total;
+  for (const auto& n : nodes_) total.merge(n->alloc_stats());
   return total;
 }
 

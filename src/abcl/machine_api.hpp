@@ -20,6 +20,11 @@
 
 namespace abcl {
 
+// World construction parameters. Preferred style is the fluent builder —
+//   World w(prog, WorldConfig::from_env().with_nodes(64).with_seed(7));
+// — with from_env() as the single place environment variables are read.
+// Plain aggregate initialization (`WorldConfig cfg; cfg.nodes = 64;`) keeps
+// working but is deprecated for new code; see API.md.
 struct WorldConfig {
   std::int32_t nodes = 1;
   net::TopologyKind topology = net::TopologyKind::kTorus2D;
@@ -34,6 +39,35 @@ struct WorldConfig {
   // < 0 = force the serial Machine regardless of the environment. Results
   // are bit-identical across all settings.
   int host_threads = 0;
+  // Hot-path memory pooling: slab-pooled node heaps + recycled packet
+  // buffers (default) vs general-purpose allocation everywhere (the
+  // bench_alloc ablation baseline). Never changes simulation results.
+  bool pooling = true;
+
+  // Builds a config with every environment-controlled knob resolved here,
+  // once, strictly: ABCLSIM_HOST_THREADS (see parse_host_threads; unset ->
+  // serial, recorded as host_threads = -1 so the result never re-consults
+  // the environment) and ABCLSIM_POOLING (unset/1/true/on -> pooled,
+  // 0/false/off -> ablation baseline; anything else aborts). New
+  // environment knobs must be absorbed here, not scattered.
+  static WorldConfig from_env();
+
+  // Fluent setters, chainable from from_env() or a default-constructed
+  // config.
+  WorldConfig& with_nodes(std::int32_t n) { nodes = n; return *this; }
+  WorldConfig& with_topology(net::TopologyKind k) { topology = k; return *this; }
+  WorldConfig& with_cost(const sim::CostModel& c) { cost = c; return *this; }
+  WorldConfig& with_node(const core::NodeRuntime::Config& nc) {
+    node = nc;
+    return *this;
+  }
+  WorldConfig& with_placement(remote::PlacementKind p) {
+    placement = p;
+    return *this;
+  }
+  WorldConfig& with_seed(std::uint64_t s) { seed = s; return *this; }
+  WorldConfig& with_host_threads(int t) { host_threads = t; return *this; }
+  WorldConfig& with_pooling(bool on) { pooling = on; return *this; }
 };
 
 // Strict parser behind ABCLSIM_HOST_THREADS. nullptr/empty -> 0 (serial);
@@ -91,6 +125,7 @@ class World {
 
   // Aggregates across nodes.
   core::NodeStats total_stats() const;
+  util::SlabAllocator::Stats total_alloc_stats() const;
   std::size_t total_live_objects() const;
   std::uint64_t total_created_objects() const;
   std::size_t total_heap_bytes() const;

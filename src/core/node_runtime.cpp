@@ -8,7 +8,7 @@ namespace {
 
 std::uint16_t object_size_class(const ClassInfo& cls) {
   return static_cast<std::uint16_t>(
-      util::PoolAllocator::size_class(object_alloc_bytes(cls.state_bytes)));
+      util::SlabAllocator::size_class(object_alloc_bytes(cls.state_bytes)));
 }
 
 }  // namespace
@@ -21,7 +21,7 @@ NodeRuntime::NodeRuntime(NodeId id, Program& prog, net::Network& net,
       cm_(&cm),
       cfg_(cfg),
       arena_(64u << 10),
-      pool_(arena_),
+      pool_(arena_, cfg.pooling),
       rng_(cfg.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(id) + 1) {
   ABCL_CHECK_MSG(prog.finalized(), "Program must be finalized before nodes start");
 }
@@ -32,7 +32,8 @@ NodeRuntime::~NodeRuntime() {
       o->cls->destruct(o->state());
     }
   }
-  // Arena reclaims all raw memory wholesale.
+  // Pooled memory dies with the arena; the slab allocator frees any
+  // unpooled-mode blocks still outstanding.
 }
 
 // ----------------------------------------------------------------------------
@@ -494,7 +495,7 @@ Word NodeRuntime::take_reply(NowCall& c) {
 ObjectHeader* NodeRuntime::alloc_object(const ClassInfo& cls) {
   trace(sim::TraceEv::kCreate, cls.id);
   std::size_t bytes = object_alloc_bytes(cls.state_bytes);
-  auto szcls = static_cast<std::uint16_t>(util::PoolAllocator::size_class(bytes));
+  auto szcls = static_cast<std::uint16_t>(util::SlabAllocator::size_class(bytes));
   void* mem = pool_.allocate(bytes);
   auto* o = new (mem) ObjectHeader();
   o->cls = &cls;
@@ -513,7 +514,7 @@ ObjectHeader* NodeRuntime::alloc_object(const ClassInfo& cls) {
 }
 
 ObjectHeader* NodeRuntime::format_chunk(std::uint16_t size_class) {
-  void* mem = pool_.allocate(util::PoolAllocator::class_bytes(size_class));
+  void* mem = pool_.allocate(util::SlabAllocator::class_bytes(size_class));
   auto* o = new (mem) ObjectHeader();
   o->cls = nullptr;
   o->home = id_;
@@ -541,7 +542,7 @@ void NodeRuntime::destroy_object(ObjectHeader* o) {
   if (o->live_next != nullptr) o->live_next->live_pprev = o->live_pprev;
   std::uint16_t szcls = o->alloc_size_class;
   o->~ObjectHeader();
-  pool_.deallocate(o, util::PoolAllocator::class_bytes(szcls));
+  pool_.deallocate(o, util::SlabAllocator::class_bytes(szcls));
   --live_objects_;
 }
 
@@ -852,9 +853,9 @@ void register_builtin_handlers(Program& prog) {
                           net::AmCategory::kCreateRequest);
 
   // Category 3: one handler per chunk size class.
-  for (std::size_t s = 0; s < util::PoolAllocator::kNumClasses; ++s) {
+  for (std::size_t s = 0; s < util::SlabAllocator::kNumClasses; ++s) {
     net::HandlerId id = am.register_handler(
-        "replenish:" + std::to_string(util::PoolAllocator::class_bytes(s)) + "B",
+        "replenish:" + std::to_string(util::SlabAllocator::class_bytes(s)) + "B",
         &trampoline<&NodeRuntime::on_replenish>, net::AmCategory::kAllocReply);
     if (s == 0) prog.h_replenish_base_ = id;
   }

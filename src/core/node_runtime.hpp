@@ -28,6 +28,7 @@
 #include "sim/trace.hpp"
 #include "util/arena.hpp"
 #include "util/rng.hpp"
+#include "util/slab.hpp"
 
 namespace abcl::core {
 
@@ -60,6 +61,11 @@ class NodeRuntime final : public sim::NodeExec {
     bool disable_replenish = false;
     std::uint32_t gossip_interval = 0;  // quanta between load gossips; 0 = off
     std::uint64_t seed = 1;
+    // Slab-pool the node heap (frames, boxes, objects, chunks). false
+    // degrades every allocation to the general-purpose heap — the
+    // bench_alloc ablation baseline. Simulation results are identical
+    // either way; only host time and the alloc counters differ.
+    bool pooling = true;
   };
 
   NodeRuntime(NodeId id, Program& prog, net::Network& net,
@@ -175,6 +181,11 @@ class NodeRuntime final : public sim::NodeExec {
   // ----- memory ------------------------------------------------------------
   template <class FrameT>
   FrameT* alloc_ctx_frame() {
+    // The slab guarantees min(class_bytes, kMaxAlignment); a frame aligned
+    // beyond that would silently land on a weaker boundary (the old
+    // PoolAllocator handed every class max_align_t at best).
+    static_assert(alignof(FrameT) <= util::SlabAllocator::kMaxAlignment,
+                  "context frame over-aligned beyond the slab guarantee");
     auto* f = static_cast<FrameT*>(pool_.allocate(sizeof(FrameT)));
     f->bytes = sizeof(FrameT);
     return f;
@@ -211,6 +222,10 @@ class NodeRuntime final : public sim::NodeExec {
   const Config& config() const { return cfg_; }
   std::size_t live_objects() const { return live_objects_; }
   std::size_t heap_bytes() const { return arena_.bytes_allocated(); }
+  // Slab-pool counters (deterministic; exported in the metrics snapshot).
+  const util::SlabAllocator::Stats& alloc_stats() const {
+    return pool_.stats();
+  }
   std::uint32_t sched_queue_len() const {
     return static_cast<std::uint32_t>(sched_.size());
   }
@@ -301,7 +316,7 @@ class NodeRuntime final : public sim::NodeExec {
 
   sim::Instr clock_ = 0;
   util::Arena arena_;
-  util::PoolAllocator pool_;
+  util::SlabAllocator pool_;
   SchedQueue sched_;
   NodeStats stats_;
   util::Xoshiro256 rng_;

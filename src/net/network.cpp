@@ -29,14 +29,16 @@ void Network::Stats::merge(const Stats& o) {
 }
 
 Network::Network(Topology topology, const sim::CostModel* cm,
-                 std::function<void(NodeId)> on_deliverable)
+                 std::function<void(NodeId)> on_deliverable, bool pooling)
     : topology_(topology),
       cm_(cm),
       on_deliverable_(std::move(on_deliverable)),
       queues_(static_cast<std::size_t>(topology_.num_nodes())),
       use_matrix_(topology_.num_nodes() <= kMatrixNodeLimit),
       src_seq_(static_cast<std::size_t>(topology_.num_nodes()), 0),
-      outboxes_(static_cast<std::size_t>(topology_.num_nodes()), nullptr) {
+      outboxes_(static_cast<std::size_t>(topology_.num_nodes()), nullptr),
+      pool_(pooling),
+      poll_mags_(static_cast<std::size_t>(topology_.num_nodes()), nullptr) {
   ABCL_CHECK(cm_ != nullptr);
   ABCL_CHECK_MSG(cm_->wire_latency + cm_->per_hop > 0,
                  "network lookahead must be positive for the PDES driver");
@@ -45,6 +47,18 @@ Network::Network(Topology topology, const sim::CostModel* cm,
         static_cast<std::size_t>(topology_.num_nodes()) *
             static_cast<std::size_t>(topology_.num_nodes()),
         0);
+  }
+}
+
+Network::~Network() {
+  // Packets still queued at teardown (worlds are routinely dropped before
+  // quiescence in tests) hold pool slots; hand them back so the unpooled
+  // mode stays leak-free under ASan.
+  for (auto& q : queues_) {
+    while (!q.empty()) {
+      pool_.release(home_mag_, q.top().slot);
+      q.pop();
+    }
   }
 }
 
@@ -100,9 +114,17 @@ void Network::commit(Packet&& p, AmCategory category) {
   stats_.wire_latency_instr.add(static_cast<double>(arrive - p.send_time));
 
   NodeId dst = p.dst;
-  queues_[static_cast<std::size_t>(dst)].push(std::move(p));
+  Packet* slot = pool_.acquire(home_mag_);
+  *slot = p;
+  queues_[static_cast<std::size_t>(dst)].push(
+      QueuedPacket{arrive, p.src, p.seq, slot});
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (on_deliverable_) on_deliverable_(dst);
+}
+
+void Network::set_poll_magazine(NodeId dst, PacketPool::Magazine* m) {
+  ABCL_CHECK(dst >= 0 && dst < topology_.num_nodes());
+  poll_mags_[static_cast<std::size_t>(dst)] = m;
 }
 
 void Network::set_outbox(NodeId src, Outbox* ob) {
@@ -129,8 +151,11 @@ void Network::flush_outboxes(Outbox* const* boxes, std::size_t nboxes) {
 
 bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
   auto& q = queues_[static_cast<std::size_t>(dst)];
-  if (q.empty() || q.top().arrive_time > now) return false;
-  out = q.top();
+  if (q.empty() || q.top().arrive > now) return false;
+  Packet* slot = q.top().slot;
+  out = *slot;
+  PacketPool::Magazine* m = poll_mags_[static_cast<std::size_t>(dst)];
+  pool_.release(m != nullptr ? *m : home_mag_, slot);
   q.pop();
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   return true;
@@ -138,7 +163,7 @@ bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
 
 sim::Instr Network::next_arrival(NodeId dst) const {
   const auto& q = queues_[static_cast<std::size_t>(dst)];
-  return q.empty() ? sim::kInstrInf : q.top().arrive_time;
+  return q.empty() ? sim::kInstrInf : q.top().arrive;
 }
 
 }  // namespace abcl::net

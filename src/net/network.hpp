@@ -22,6 +22,15 @@
 // floors, and Stats are bit-identical to a serial run. Destination queues
 // are only popped by the worker that owns the destination node, so the only
 // send/poll-shared word is the in-flight count, which is atomic.
+//
+// Buffer management: in-flight packets live in PacketPool slots; the
+// destination heaps order 24-byte references by (arrive_time, src, seq),
+// so heap sifts stop copying whole payloads. Commits acquire slots through
+// the coordinator-owned home magazine; polls release them through the
+// magazine installed for the destination (set_poll_magazine — the parallel
+// driver installs one per worker; serial runs fall back to the home
+// magazine). Slot addresses are host-dependent, but nothing observable
+// reads them.
 #pragma once
 
 #include <atomic>
@@ -33,6 +42,7 @@
 
 #include "net/active_message.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/topology.hpp"
 #include "sim/cost_model.hpp"
 #include "util/stats.hpp"
@@ -75,9 +85,12 @@ class Network {
   };
 
   // on_deliverable(dst) fires whenever a packet is enqueued toward dst; the
-  // machine driver uses it to re-key the node in its ready heap.
+  // machine driver uses it to re-key the node in its ready heap. `pooling`
+  // selects recycled packet slots (default) vs per-send heap allocation
+  // (the bench_alloc ablation baseline); results are identical either way.
   Network(Topology topology, const sim::CostModel* cm,
-          std::function<void(NodeId)> on_deliverable = {});
+          std::function<void(NodeId)> on_deliverable = {}, bool pooling = true);
+  ~Network();
 
   void set_on_deliverable(std::function<void(NodeId)> fn) {
     on_deliverable_ = std::move(fn);
@@ -124,15 +137,34 @@ class Network {
   }
   const Stats& stats() const { return stats_; }
 
+  // Routes slot releases for polls on `dst` through `m` (nullptr restores
+  // the home magazine). Only the parallel driver installs these, around a
+  // run; the caller guarantees `m` is owned by the thread polling `dst`.
+  void set_poll_magazine(NodeId dst, PacketPool::Magazine* m);
+
+  PacketPool& packet_pool() { return pool_; }
+  // Coordinator-side magazine (commit acquires, serial-driver releases).
+  const PacketPool::Magazine& home_magazine() const { return home_mag_; }
+
  private:
+  // Destination-heap entry: the simulated delivery key plus the pooled
+  // slot holding the payload. Sifting 24 bytes instead of sizeof(Packet)
+  // is most of the pooled send/poll win at depth.
+  struct QueuedPacket {
+    sim::Instr arrive;
+    std::int32_t src;
+    std::uint64_t seq;
+    Packet* slot;
+  };
   struct PacketOrder {
-    bool operator()(const Packet& a, const Packet& b) const {
-      if (a.arrive_time != b.arrive_time) return a.arrive_time > b.arrive_time;
+    bool operator()(const QueuedPacket& a, const QueuedPacket& b) const {
+      if (a.arrive != b.arrive) return a.arrive > b.arrive;
       if (a.src != b.src) return a.src > b.src;
       return a.seq > b.seq;
     }
   };
-  using DstQueue = std::priority_queue<Packet, std::vector<Packet>, PacketOrder>;
+  using DstQueue =
+      std::priority_queue<QueuedPacket, std::vector<QueuedPacket>, PacketOrder>;
 
   sim::Instr& channel_floor(NodeId src, NodeId dst);
   void commit(Packet&& p, AmCategory category);
@@ -151,6 +183,9 @@ class Network {
   std::vector<Outbox::Item> merge_;   // flush scratch (reused allocation)
   std::atomic<std::uint64_t> in_flight_{0};
   Stats stats_;
+  PacketPool pool_;
+  PacketPool::Magazine home_mag_;
+  std::vector<PacketPool::Magazine*> poll_mags_;  // per-dst; nullptr = home
 };
 
 }  // namespace abcl::net

@@ -43,6 +43,23 @@ void node_counters_json(JsonWriter& w, const core::NodeStats& s) {
   w.field("idle_instr", s.idle_instr);
 }
 
+// Slab-allocator counters. Every field is a function of the node's
+// simulated allocation sequence, so the block survives the cross-driver
+// byte-identity contract. Magazine/depot occupancy (host-dependent) is
+// deliberately NOT here.
+void alloc_json(JsonWriter& w, const util::SlabAllocator::Stats& s) {
+  w.key("alloc");
+  w.begin_object();
+  w.field("allocs", s.allocs);
+  w.field("frees", s.frees);
+  w.field("live", s.live());
+  w.field("freelist_hits", s.freelist_hits);
+  w.field("slab_refills", s.slab_refills);
+  w.field("slots_carved", s.slots_carved);
+  w.field("backing_bytes", s.backing_bytes);
+  w.end_object();
+}
+
 void latency_histograms_json(JsonWriter& w, const core::NodeStats& s) {
   w.key("msg_latency_instr");
   w.begin_object();
@@ -82,6 +99,7 @@ std::string metrics_json(const World& world, const RunReport* rep) {
   w.field("schema", kMetricsSchema);
   w.field("nodes", static_cast<std::int64_t>(world.num_nodes()));
   w.field("seed", world.config().seed);
+  w.field("pooling", world.config().pooling);
 
   if (rep != nullptr) {
     w.key("run");
@@ -118,6 +136,7 @@ std::string metrics_json(const World& world, const RunReport* rep) {
   w.field("created_objects", world.total_created_objects());
   w.field("heap_bytes", static_cast<std::uint64_t>(world.total_heap_bytes()));
   w.field("max_clock", world.max_clock());
+  alloc_json(w, world.total_alloc_stats());
   latency_histograms_json(w, totals);
   w.end_object();
 
@@ -135,6 +154,7 @@ std::string metrics_json(const World& world, const RunReport* rep) {
     w.field("sched_queue_len", static_cast<std::uint64_t>(n.sched_queue_len()));
     w.field("net_pending", static_cast<std::uint64_t>(
                                world.network().pending(n.node_id())));
+    alloc_json(w, n.alloc_stats());
     latency_histograms_json(w, n.stats());
     w.end_object();
   }

@@ -35,6 +35,20 @@ struct CompareResult {
 // Host-dependent fields excluded from bench-trajectory comparison.
 extern const std::vector<std::string> kDefaultIgnoredKeys;  // wall_ms, host_cores
 
+struct CompareOptions {
+  double tol_pct = 0.5;
+  std::vector<std::string> ignored_keys = kDefaultIgnoredKeys;
+  // Forward-compat mode for schema-bumped candidates against an older
+  // committed baseline: keys the candidate adds are tolerated (the shared
+  // counter prefix is still checked exactly); keys missing from the
+  // candidate remain drifts. Strict both-ways checking stays the default —
+  // a key silently vanishing OR appearing is normally a bug.
+  bool allow_candidate_extra_keys = false;
+};
+
+CompareResult compare_json(const JsonValue& baseline, const JsonValue& candidate,
+                           const CompareOptions& opts);
+
 CompareResult compare_json(const JsonValue& baseline, const JsonValue& candidate,
                            double tol_pct,
                            const std::vector<std::string>& ignored_keys =
@@ -43,6 +57,14 @@ CompareResult compare_json(const JsonValue& baseline, const JsonValue& candidate
 // File-level convenience: parses both files and compares. Parse or I/O
 // failures are reported as drifts so callers can treat any non-ok result
 // uniformly.
+//
+// Baseline-version compat: when the baseline is an "abclsim-metrics-v1"
+// snapshot and the candidate is the current metrics schema, the comparison
+// automatically relaxes to the shared counter prefix — candidate-only keys
+// (the v2 alloc blocks, "pooling") are tolerated and "schema"/"heap_bytes"
+// are ignored (v2's slab-granular arena growth changed heap_bytes). This
+// keeps committed v1 BENCH_*.json baselines green until they are
+// refreshed; every other schema pairing is compared strictly.
 CompareResult compare_json_files(const std::string& baseline_path,
                                  const std::string& candidate_path,
                                  double tol_pct,

@@ -125,7 +125,10 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
       } else {
         saved_tracers_[static_cast<std::size_t>(id)] = old;
       }
-      if (net_ != nullptr) net_->set_outbox(id, &w.outbox);
+      if (net_ != nullptr) {
+        net_->set_outbox(id, &w.outbox);
+        net_->set_poll_magazine(id, &w.magazine);
+      }
     }
   }
 
@@ -187,15 +190,21 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
     threads_.clear();
   }
 
-  // Restore tracers and the direct send path.
+  // Restore tracers and the direct send/release paths. Worker threads are
+  // joined (or never existed), so draining their magazines back to the
+  // depot from this thread is race-free.
   for (auto& w : workers_) {
     for (NodeId id : w.shard) {
       NodeExec& n = *nodes_[static_cast<std::size_t>(id)];
       if (Tracer* orig = saved_tracers_[static_cast<std::size_t>(id)]) {
         n.swap_tracer(orig);
       }
-      if (net_ != nullptr) net_->set_outbox(id, nullptr);
+      if (net_ != nullptr) {
+        net_->set_outbox(id, nullptr);
+        net_->set_poll_magazine(id, nullptr);
+      }
     }
+    if (net_ != nullptr) net_->packet_pool().flush(w.magazine);
   }
 
   RunReport rep;

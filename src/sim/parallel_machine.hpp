@@ -20,9 +20,11 @@
 // node) into the originally attached tracers.
 //
 // Thread-safety partition during a window: a worker touches only its own
-// nodes' state, those nodes' destination queues (poll side), its own outbox
-// and trace buffer. The one shared mutable word is the network's in-flight
-// counter, which is atomic.
+// nodes' state, those nodes' destination queues (poll side), its own outbox,
+// trace buffer and packet-pool magazine. The shared mutable state is the
+// network's in-flight counter (atomic) and the packet pool's depot, which a
+// worker only reaches through its magazine's overflow path (mutex-guarded,
+// amortized one trip per kMagazineCap frees).
 #pragma once
 
 #include <atomic>
@@ -79,6 +81,9 @@ class ParallelMachine : public Driver {
   struct Worker {
     std::vector<NodeId> shard;
     net::Network::Outbox outbox;
+    // Thread-local cache of free packet slots; polls on this shard release
+    // into it, touching the shared depot only on overflow.
+    net::PacketPool::Magazine magazine;
     WindowTraceBuffer traces;
     std::uint64_t quanta = 0;
     // Min effective key across the shard after the window's execution

@@ -35,34 +35,4 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
   return reinterpret_cast<void*>(aligned);
 }
 
-std::size_t PoolAllocator::size_class(std::size_t bytes) {
-  std::size_t cls = 0;
-  std::size_t cap = std::size_t{1} << kMinClassLog2;
-  while (cap < bytes) {
-    cap <<= 1;
-    ++cls;
-  }
-  ABCL_CHECK_MSG(cls < kNumClasses, "allocation exceeds pool size-class range");
-  return cls;
-}
-
-void* PoolAllocator::allocate(std::size_t bytes) {
-  std::size_t cls = size_class(bytes);
-  ++allocs_;
-  if (FreeNode* n = free_[cls]) {
-    free_[cls] = n->next;
-    return n;
-  }
-  return arena_->allocate(class_bytes(cls), alignof(std::max_align_t));
-}
-
-void PoolAllocator::deallocate(void* p, std::size_t bytes) {
-  if (p == nullptr) return;
-  std::size_t cls = size_class(bytes);
-  ++frees_;
-  auto* n = static_cast<FreeNode*>(p);
-  n->next = free_[cls];
-  free_[cls] = n;
-}
-
 }  // namespace abcl::util

@@ -1,9 +1,8 @@
-// Per-node bump arena and size-classed freelist pool.
+// Per-node bump arena.
 //
-// Every simulated node owns one Arena (its "local heap") and carves objects,
-// heap frames, reply boxes and chunk memory out of it. Frames and boxes
-// recycle through size-classed freelists, matching the constant-time
-// allocation the paper's cost model assumes for the active-mode path.
+// Every simulated node owns one Arena (its "local heap"); the size-classed
+// SlabAllocator (util/slab.hpp) carves objects, heap frames, reply boxes
+// and chunk memory out of it in whole-slab increments.
 #pragma once
 
 #include <cstddef>
@@ -44,42 +43,6 @@ class Arena {
   std::byte* end_ = nullptr;
   std::size_t bytes_allocated_ = 0;
   std::size_t bytes_reserved_ = 0;
-};
-
-// Size-classed freelist on top of an Arena. Size classes are powers of two
-// from kMinClass bytes up; freed blocks are recycled exactly by class, so a
-// pointer handed out twice is a bug the chunk-stock tests can catch.
-class PoolAllocator {
- public:
-  static constexpr std::size_t kMinClassLog2 = 5;   // 32 B
-  static constexpr std::size_t kMaxClassLog2 = 16;  // 64 KiB
-  static constexpr std::size_t kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
-
-  explicit PoolAllocator(Arena& arena) : arena_(&arena) {}
-
-  PoolAllocator(const PoolAllocator&) = delete;
-  PoolAllocator& operator=(const PoolAllocator&) = delete;
-
-  static std::size_t size_class(std::size_t bytes);
-  static std::size_t class_bytes(std::size_t cls) {
-    return std::size_t{1} << (cls + kMinClassLog2);
-  }
-
-  void* allocate(std::size_t bytes);
-  void deallocate(void* p, std::size_t bytes);
-
-  std::uint64_t live_count() const { return allocs_ - frees_; }
-  std::uint64_t alloc_count() const { return allocs_; }
-
- private:
-  struct FreeNode {
-    FreeNode* next;
-  };
-
-  Arena* arena_;
-  FreeNode* free_[kNumClasses] = {};
-  std::uint64_t allocs_ = 0;
-  std::uint64_t frees_ = 0;
 };
 
 }  // namespace abcl::util

@@ -216,6 +216,27 @@ TEST(MetricsSnapshot, IsValidJsonWithExpectedShape) {
   EXPECT_EQ(s.metrics.find("wall"), std::string::npos);
 }
 
+TEST(MetricsSnapshot, V2CarriesAllocatorCounters) {
+  Snapshots s = run_nqueens_snapshots(-1, 8, 6);
+  auto v = obs::parse_json(s.metrics);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("schema")->string, "abclsim-metrics-v2");
+  EXPECT_EQ(v->find("pooling")->kind, obs::JsonValue::Kind::kBool);
+  EXPECT_TRUE(v->find("pooling")->boolean);
+  const obs::JsonValue* alloc = v->find("totals")->find("alloc");
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_GT(alloc->find("allocs")->integer, 0);
+  EXPECT_GT(alloc->find("freelist_hits")->integer, 0);
+  EXPECT_GT(alloc->find("backing_bytes")->integer, 0);
+  // At quiescence only long-lived structures remain live.
+  EXPECT_GE(alloc->find("allocs")->integer, alloc->find("frees")->integer);
+  EXPECT_EQ(alloc->find("live")->integer,
+            alloc->find("allocs")->integer - alloc->find("frees")->integer);
+  for (const auto& node : v->find("per_node")->array) {
+    ASSERT_NE(node.find("alloc"), nullptr);
+  }
+}
+
 TEST(MetricsSnapshot, WorksOnZeroQuantumWorld) {
   core::Program prog;
   apps::register_pingpong(prog);
@@ -374,6 +395,55 @@ TEST(Regression, FileCompareRoundTrip) {
   ASSERT_TRUE(obs::write_file(cand, R"({"quanta": 150, "wall_ms": 5.0})"));
   EXPECT_FALSE(obs::compare_json_files(base, cand, 10.0).ok());
   EXPECT_FALSE(obs::compare_json_files(dir + "/absent.json", cand, 0.0).ok());
+}
+
+TEST(Regression, AcceptsV1MetricsBaselineAgainstV2Candidate) {
+  // A committed v1 metrics baseline must stay green against the v2 schema:
+  // the shared counter prefix is compared exactly, the v2-only additions
+  // (alloc blocks, "pooling") are tolerated, and "schema"/"heap_bytes" are
+  // ignored for this pairing only.
+  std::string dir = ::testing::TempDir();
+  std::string base = dir + "/obs_v1_base.json";
+  std::string cand = dir + "/obs_v2_cand.json";
+  ASSERT_TRUE(obs::write_file(base, R"({
+    "schema": "abclsim-metrics-v1", "nodes": 4,
+    "totals": {"remote_recv": 10, "heap_bytes": 4096}})"));
+  ASSERT_TRUE(obs::write_file(cand, R"({
+    "schema": "abclsim-metrics-v2", "nodes": 4, "pooling": true,
+    "totals": {"remote_recv": 10, "heap_bytes": 65536,
+               "alloc": {"allocs": 7, "frees": 7}}})"));
+  EXPECT_TRUE(obs::compare_json_files(base, cand, 0.0).ok());
+  // Shared counters are still gated: drift in the prefix fails.
+  ASSERT_TRUE(obs::write_file(cand, R"({
+    "schema": "abclsim-metrics-v2", "nodes": 4, "pooling": true,
+    "totals": {"remote_recv": 11, "heap_bytes": 65536,
+               "alloc": {"allocs": 7, "frees": 7}}})"));
+  EXPECT_FALSE(obs::compare_json_files(base, cand, 0.0).ok());
+  // So is a key the candidate dropped.
+  ASSERT_TRUE(obs::write_file(cand, R"({
+    "schema": "abclsim-metrics-v2", "pooling": true,
+    "totals": {"remote_recv": 10, "heap_bytes": 65536}})"));
+  EXPECT_FALSE(obs::compare_json_files(base, cand, 0.0).ok());
+}
+
+TEST(Regression, ExtraCandidateKeysStayStrictOutsideV1Compat) {
+  // The relaxation is scoped to the v1-baseline/v2-candidate pairing; a
+  // same-schema pair (every BENCH_*.json comparison) is still strict about
+  // keys appearing out of nowhere.
+  std::string dir = ::testing::TempDir();
+  std::string base = dir + "/obs_strict_base.json";
+  std::string cand = dir + "/obs_strict_cand.json";
+  ASSERT_TRUE(obs::write_file(base, R"({"quanta": 100})"));
+  ASSERT_TRUE(obs::write_file(cand, R"({"quanta": 100, "extra": 1})"));
+  EXPECT_FALSE(obs::compare_json_files(base, cand, 0.0).ok());
+  // The opt-in knob exists for callers that want the relaxed mode directly.
+  obs::CompareOptions opts;
+  opts.tol_pct = 0.0;
+  opts.allow_candidate_extra_keys = true;
+  EXPECT_TRUE(obs::compare_json(*obs::parse_json(R"({"quanta": 100})"),
+                                *obs::parse_json(R"({"quanta": 100, "x": 1})"),
+                                opts)
+                  .ok());
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ struct Fixture {
   }
 
   std::uint16_t counter_szcls() const {
-    return static_cast<std::uint16_t>(util::PoolAllocator::size_class(
+    return static_cast<std::uint16_t>(util::SlabAllocator::size_class(
         core::object_alloc_bytes(counter.cls->state_bytes)));
   }
 
