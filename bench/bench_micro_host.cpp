@@ -120,6 +120,123 @@ void BM_NetworkSendPollDeep(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendPollDeep)->Arg(1)->Arg(0);
 
+// ---- time queues ------------------------------------------------------------
+
+struct QEntry {
+  sim::Instr key;
+  std::int32_t id;
+};
+struct QKey {
+  sim::Instr operator()(const QEntry& e) const { return e.key; }
+};
+struct QLess {
+  bool operator()(const QEntry& a, const QEntry& b) const {
+    return a.key != b.key ? a.key < b.key : a.id < b.id;
+  }
+};
+
+// Standing-depth push/pop ping-pong: pop the min, reinsert it a pseudo-random
+// small stride later — the drifting-time-front shape both the machine's ready
+// set and the per-destination arrival queues produce. state.range(0) = depth.
+void queue_push_pop(benchmark::State& state, util::QueueKind kind) {
+  const auto depth = static_cast<int>(state.range(0));
+  util::BucketQueue<QEntry, QKey, QLess> q(kind);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  sim::Instr t = 0;
+  for (int i = 0; i < depth; ++i) {
+    t += static_cast<sim::Instr>(next() % 64);
+    q.push({t, i});
+  }
+  for (auto _ : state) {
+    QEntry e = q.top();
+    q.pop();
+    benchmark::DoNotOptimize(e);
+    e.key += 1 + static_cast<sim::Instr>(next() % 512);
+    q.push(e);
+  }
+}
+
+void BM_BucketQueuePushPop(benchmark::State& state) {
+  queue_push_pop(state, util::QueueKind::kBucket);
+}
+BENCHMARK(BM_BucketQueuePushPop)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_BinaryHeapPushPop(benchmark::State& state) {
+  queue_push_pop(state, util::QueueKind::kHeap);
+}
+BENCHMARK(BM_BinaryHeapPushPop)->Arg(16)->Arg(256)->Arg(4096);
+
+// ---- barrier flush ----------------------------------------------------------
+
+// flush_outboxes ablation: the coordinator-side cost of committing a window's
+// sends from 8 worker outboxes. state.range(0) = packets per box;
+// state.range(1): 1 = k-way merge over pre-sorted runs (the pre-sort itself
+// is excluded, as in production it runs inside the parallel region), 0 = the
+// historical global stable_sort. Fill and drain run under PauseTiming.
+void BM_FlushOutboxesMerge(benchmark::State& state) {
+  const auto per_box = static_cast<int>(state.range(0));
+  const bool merge = state.range(1) != 0;
+  constexpr int kBoxes = 8;
+  constexpr std::int32_t kNodes = 64;
+  sim::CostModel cm = sim::CostModel::ap1000();
+  net::Network net(net::Topology(net::TopologyKind::kTorus2D, kNodes), &cm, {},
+                   true, util::QueueKind::kBucket,
+                   merge ? net::FlushKind::kMerge : net::FlushKind::kSort);
+  net::Network::Outbox boxes[kBoxes];
+  net::Network::Outbox* ptrs[kBoxes];
+  for (int b = 0; b < kBoxes; ++b) ptrs[b] = &boxes[b];
+  for (std::int32_t src = 0; src < kNodes; ++src) {
+    net.set_outbox(src, &boxes[src % kBoxes]);  // round-robin shard, as in
+                                                // ParallelMachine
+  }
+  sim::Instr t = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < per_box; ++i) {
+      for (int b = 0; b < kBoxes; ++b) {
+        auto src = static_cast<std::int32_t>(
+            (b + kBoxes * (i % (kNodes / kBoxes))) % kNodes);
+        boxes[b].set_current_key(t + static_cast<sim::Instr>((i * 7 + b * 3) %
+                                                             64));
+        net::Packet p;
+        p.handler = 0;
+        p.src = src;
+        p.dst = (src + 17) % kNodes;
+        p.send_time = t;
+        p.push(42);
+        net.send(std::move(p), net::AmCategory::kObjectMessage);
+      }
+    }
+    if (merge) {
+      for (auto& b : boxes) b.sort_canonical();
+    }
+    state.ResumeTiming();
+    net.flush_outboxes(ptrs, kBoxes);
+    state.PauseTiming();
+    net::Packet out;
+    for (std::int32_t d = 0; d < kNodes; ++d) {
+      while (net.poll(d, sim::kInstrInf, out)) {
+      }
+    }
+    t += 128;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * per_box * kBoxes);
+}
+BENCHMARK(BM_FlushOutboxesMerge)
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({4096, 1})
+    ->Args({4096, 0});
+
 // ---- end-to-end dispatch ------------------------------------------------------
 
 struct Env {

@@ -35,6 +35,30 @@ bool parse_pooling_env(const char* text) {
   return true;
 }
 
+util::QueueKind parse_queue_env(const char* text) {
+  if (text == nullptr || *text == '\0') return util::QueueKind::kBucket;
+  const std::string s = text;
+  if (s == "bucket") return util::QueueKind::kBucket;
+  if (s == "heap") return util::QueueKind::kHeap;
+  ABCL_CHECK_MSG(false, ("ABCLSIM_QUEUE=\"" + s +
+                         "\": expected bucket or heap, or unset for the "
+                         "bucketed time queue")
+                            .c_str());
+  return util::QueueKind::kBucket;
+}
+
+net::FlushKind parse_flush_env(const char* text) {
+  if (text == nullptr || *text == '\0') return net::FlushKind::kMerge;
+  const std::string s = text;
+  if (s == "merge") return net::FlushKind::kMerge;
+  if (s == "sort") return net::FlushKind::kSort;
+  ABCL_CHECK_MSG(false, ("ABCLSIM_FLUSH=\"" + s +
+                         "\": expected merge or sort, or unset for the "
+                         "k-way merge commit path")
+                            .c_str());
+  return net::FlushKind::kMerge;
+}
+
 }  // namespace
 
 WorldConfig WorldConfig::from_env() {
@@ -47,6 +71,8 @@ WorldConfig WorldConfig::from_env() {
   // from this config later never re-reads the environment.
   cfg.host_threads = *threads == 0 ? -1 : *threads;
   cfg.pooling = parse_pooling_env(std::getenv("ABCLSIM_POOLING"));
+  cfg.queue = parse_queue_env(std::getenv("ABCLSIM_QUEUE"));
+  cfg.flush = parse_flush_env(std::getenv("ABCLSIM_FLUSH"));
   return cfg;
 }
 
@@ -84,7 +110,8 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
 
   net_ = std::make_unique<net::Network>(
       net::Topology(cfg_.topology, cfg_.nodes), &cfg_.cost,
-      std::function<void(core::NodeId)>{}, cfg_.pooling);
+      std::function<void(core::NodeId)>{}, cfg_.pooling, cfg_.queue,
+      cfg_.flush);
 
   nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
@@ -106,7 +133,7 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
                                                       net_.get(), threads);
     host_threads_ = threads;
   } else {
-    machine_ = std::make_unique<sim::Machine>(std::move(execs));
+    machine_ = std::make_unique<sim::Machine>(std::move(execs), cfg_.queue);
     host_threads_ = 1;
   }
 

@@ -43,13 +43,24 @@ struct WorldConfig {
   // buffers (default) vs general-purpose allocation everywhere (the
   // bench_alloc ablation baseline). Never changes simulation results.
   bool pooling = true;
+  // Time-queue structure for the serial machine's ready set and the
+  // network's per-destination queues: bucketed calendar queue (default) vs
+  // binary-heap ablation (ABCLSIM_QUEUE=heap). Pop order is identical —
+  // results never change.
+  util::QueueKind queue = util::QueueKind::kBucket;
+  // Barrier commit strategy for the host-parallel driver: N-way merge over
+  // worker-pre-sorted outbox runs (default) vs the old coordinator-side
+  // global sort ablation (ABCLSIM_FLUSH=sort). Commit order is identical —
+  // results never change.
+  net::FlushKind flush = net::FlushKind::kMerge;
 
   // Builds a config with every environment-controlled knob resolved here,
   // once, strictly: ABCLSIM_HOST_THREADS (see parse_host_threads; unset ->
   // serial, recorded as host_threads = -1 so the result never re-consults
-  // the environment) and ABCLSIM_POOLING (unset/1/true/on -> pooled,
-  // 0/false/off -> ablation baseline; anything else aborts). New
-  // environment knobs must be absorbed here, not scattered.
+  // the environment), ABCLSIM_POOLING (unset/1/true/on -> pooled,
+  // 0/false/off -> ablation baseline), ABCLSIM_QUEUE (unset/bucket or
+  // heap) and ABCLSIM_FLUSH (unset/merge or sort); anything else aborts.
+  // New environment knobs must be absorbed here, not scattered.
   static WorldConfig from_env();
 
   // Fluent setters, chainable from from_env() or a default-constructed
@@ -68,6 +79,8 @@ struct WorldConfig {
   WorldConfig& with_seed(std::uint64_t s) { seed = s; return *this; }
   WorldConfig& with_host_threads(int t) { host_threads = t; return *this; }
   WorldConfig& with_pooling(bool on) { pooling = on; return *this; }
+  WorldConfig& with_queue(util::QueueKind q) { queue = q; return *this; }
+  WorldConfig& with_flush(net::FlushKind f) { flush = f; return *this; }
 };
 
 // Strict parser behind ABCLSIM_HOST_THREADS. nullptr/empty -> 0 (serial);

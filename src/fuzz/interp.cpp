@@ -282,7 +282,8 @@ InterpPatterns register_interp(core::Program& prog) {
 }
 
 FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
-                     const sim::CostModel& cost)
+                     const sim::CostModel& cost, util::QueueKind queue,
+                     net::FlushKind flush)
     : spec_(spec) {
   std::string verr;
   ABCL_CHECK_MSG(spec_.validate(&verr), "invalid fuzz spec");
@@ -299,6 +300,8 @@ FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
   cfg.node.reduction_budget = spec_.reduction_budget;
   cfg.node.disable_replenish = spec_.disable_replenish;
   cfg.seed = spec_.seed | 1;
+  cfg.queue = queue;
+  cfg.flush = flush;
 
   counters_.assign(static_cast<std::size_t>(spec_.nodes), Counters{});
   rc_.spec = &spec_;

@@ -81,9 +81,13 @@ InterpPatterns register_interp(core::Program& prog);
 class FuzzWorld {
  public:
   // `spec` must validate; aborts otherwise. `tracer` (optional) is attached
-  // before boot so boot-time cascades are fingerprinted too.
+  // before boot so boot-time cascades are fingerprinted too. `queue` and
+  // `flush` select the time-queue and flush-path ablations (see
+  // WorldConfig); either choice must produce byte-identical results.
   FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer = nullptr,
-            const sim::CostModel& cost = sim::CostModel::ap1000());
+            const sim::CostModel& cost = sim::CostModel::ap1000(),
+            util::QueueKind queue = util::QueueKind::kBucket,
+            net::FlushKind flush = net::FlushKind::kMerge);
 
   FuzzWorld(const FuzzWorld&) = delete;
   FuzzWorld& operator=(const FuzzWorld&) = delete;

@@ -171,9 +171,10 @@ bool check_metamorphic(const RunResult& base, const RunResult& scaled,
 }  // namespace
 
 RunResult run_spec(const Spec& spec, int host_threads,
-                   const sim::CostModel& cost) {
+                   const sim::CostModel& cost, util::QueueKind queue,
+                   net::FlushKind flush) {
   HashTracer tracer;
-  FuzzWorld fw(spec, host_threads, &tracer, cost);
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush);
   RunReport rep = fw.world().run();
 
   RunResult rr;

@@ -87,8 +87,13 @@ struct RunResult {
   std::uint64_t queued_msgs = 0;
 };
 
+// `queue`/`flush` select the time-queue and commit-path ablations; every
+// combination must yield a byte-identical RunResult (checked by
+// tests/test_host_parallel.cpp over the fuzz corpus).
 RunResult run_spec(const Spec& spec, int host_threads,
-                   const sim::CostModel& cost = sim::CostModel::ap1000());
+                   const sim::CostModel& cost = sim::CostModel::ap1000(),
+                   util::QueueKind queue = util::QueueKind::kBucket,
+                   net::FlushKind flush = net::FlushKind::kMerge);
 
 struct OracleOptions {
   std::vector<int> thread_counts = {1, 2, 8};

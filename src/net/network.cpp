@@ -9,6 +9,9 @@ namespace abcl::net {
 namespace {
 constexpr std::int32_t kMatrixNodeLimit = 1024;  // 1024^2 * 8 B = 8 MiB
 constexpr int kMinWireWords = 4;                 // header-only packet
+// Merge fan-in bound = the host-thread ceiling (parse_host_threads caps at
+// 1024 workers, one outbox each); the cursors live on the flush's stack.
+constexpr int kMaxMergeRuns = 1024;
 }
 
 void Network::Stats::merge(const Stats& o) {
@@ -29,14 +32,19 @@ void Network::Stats::merge(const Stats& o) {
 }
 
 Network::Network(Topology topology, const sim::CostModel* cm,
-                 std::function<void(NodeId)> on_deliverable, bool pooling)
+                 std::function<void(NodeId)> on_deliverable, bool pooling,
+                 util::QueueKind queue, FlushKind flush)
     : topology_(topology),
       cm_(cm),
       on_deliverable_(std::move(on_deliverable)),
-      queues_(static_cast<std::size_t>(topology_.num_nodes())),
+      queues_(static_cast<std::size_t>(topology_.num_nodes()),
+              DstQueue(queue)),
       use_matrix_(topology_.num_nodes() <= kMatrixNodeLimit),
       src_seq_(static_cast<std::size_t>(topology_.num_nodes()), 0),
       outboxes_(static_cast<std::size_t>(topology_.num_nodes()), nullptr),
+      queue_kind_(queue),
+      flush_(flush),
+      flush_touched_mark_(static_cast<std::size_t>(topology_.num_nodes()), 0),
       pool_(pooling),
       poll_mags_(static_cast<std::size_t>(topology_.num_nodes()), nullptr) {
   ABCL_CHECK(cm_ != nullptr);
@@ -85,6 +93,7 @@ void Network::send(Packet&& p, AmCategory category) {
   ABCL_CHECK(p.src >= 0 && p.src < topology_.num_nodes());
   if (Outbox* ob = outboxes_[static_cast<std::size_t>(p.src)]) {
     ob->items_.push_back({std::move(p), category, ob->current_key_});
+    ob->sorted_ = false;
     return;
   }
   commit(std::move(p), category);
@@ -119,7 +128,32 @@ void Network::commit(Packet&& p, AmCategory category) {
   queues_[static_cast<std::size_t>(dst)].push(
       QueuedPacket{arrive, p.src, p.seq, slot});
   in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (flush_active_) {
+    // Batched wakeups: record the destination once; flush_outboxes runs a
+    // single rekey pass per dst after all commits. Equivalent to the
+    // per-packet callback because more packets only lower a destination's
+    // effective key — the post-flush key is the min the driver would have
+    // folded in packet by packet.
+    auto d = static_cast<std::size_t>(dst);
+    if (!flush_touched_mark_[d]) {
+      flush_touched_mark_[d] = 1;
+      flush_touched_.push_back(dst);
+    }
+    return;
+  }
   if (on_deliverable_) on_deliverable_(dst);
+}
+
+void Network::Outbox::sort_canonical() {
+  if (sorted_) return;
+  // (quantum key, src) ascending; stability keeps each source's program
+  // order, since one source lives in exactly one outbox.
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const Item& a, const Item& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.pkt.src < b.pkt.src;
+                   });
+  sorted_ = true;
 }
 
 void Network::set_poll_magazine(NodeId dst, PacketPool::Magazine* m) {
@@ -133,10 +167,31 @@ void Network::set_outbox(NodeId src, Outbox* ob) {
 }
 
 void Network::flush_outboxes(Outbox* const* boxes, std::size_t nboxes) {
+  flush_active_ = true;
+  if (flush_ == FlushKind::kMerge) {
+    flush_merge(boxes, nboxes);
+  } else {
+    flush_sort(boxes, nboxes);
+  }
+  for (std::size_t i = 0; i < nboxes; ++i) {
+    boxes[i]->items_.clear();
+    boxes[i]->sorted_ = true;
+  }
+  flush_active_ = false;
+  // One deduplicated rekey pass per destination, in canonical first-commit
+  // order (deterministic, though the drivers only fold these into a min).
+  for (NodeId dst : flush_touched_) {
+    flush_touched_mark_[static_cast<std::size_t>(dst)] = 0;
+    if (on_deliverable_) on_deliverable_(dst);
+  }
+  flush_touched_.clear();
+}
+
+// The historical commit path: gather everything, one global stable sort.
+void Network::flush_sort(Outbox* const* boxes, std::size_t nboxes) {
   merge_.clear();
   for (std::size_t i = 0; i < nboxes; ++i) {
     for (Outbox::Item& it : boxes[i]->items_) merge_.push_back(std::move(it));
-    boxes[i]->items_.clear();
   }
   // Canonical order: (quantum key, src) ascending; a stable sort keeps each
   // source's program order, since one source lives in exactly one outbox.
@@ -147,6 +202,78 @@ void Network::flush_outboxes(Outbox* const* boxes, std::size_t nboxes) {
                    });
   for (Outbox::Item& it : merge_) commit(std::move(it.pkt), it.cat);
   merge_.clear();
+}
+
+// N-way loser-tree merge over pre-sorted per-worker runs: O(M log N)
+// comparisons on the coordinator instead of O(M log M), with the per-run
+// sorts already paid for in parallel by the workers (sort_canonical at the
+// end of each shard's window). Equal (key, src) pairs cannot straddle two
+// runs — a source lives in exactly one outbox — so merging runs in (key,
+// src) order with ties broken by run index reproduces the canonical global
+// order exactly, program order included.
+void Network::flush_merge(Outbox* const* boxes, std::size_t nboxes) {
+  struct Cursor {
+    std::vector<Outbox::Item>* items;
+    std::size_t pos;
+  };
+  // Gather non-empty runs; sort any the caller didn't pre-sort (direct
+  // callers outside the parallel driver).
+  Cursor runs[kMaxMergeRuns];
+  int k = 0;
+  for (std::size_t i = 0; i < nboxes; ++i) {
+    if (boxes[i]->items_.empty()) continue;
+    ABCL_CHECK_MSG(k < kMaxMergeRuns, "too many outboxes in one flush");
+    boxes[i]->sort_canonical();
+    runs[k++] = Cursor{&boxes[i]->items_, 0};
+  }
+  if (k == 0) return;
+  if (k == 1) {
+    for (Outbox::Item& it : *runs[0].items) {
+      commit(std::move(it.pkt), it.cat);
+    }
+    return;
+  }
+
+  // a beats b: a's head precedes b's head in canonical order. Run index -1
+  // is the virtual "empty" slot used only while building the tree — it
+  // wins every match so real runs settle in as losers. An exhausted run
+  // loses to every live one.
+  auto wins = [&runs](int a, int b) {
+    if (a < 0) return true;
+    if (b < 0) return false;
+    const Cursor& ca = runs[a];
+    const Cursor& cb = runs[b];
+    const bool ea = ca.pos == ca.items->size();
+    const bool eb = cb.pos == cb.items->size();
+    if (ea != eb) return eb;
+    if (ea) return a < b;
+    const Outbox::Item& x = (*ca.items)[ca.pos];
+    const Outbox::Item& y = (*cb.items)[cb.pos];
+    if (x.key != y.key) return x.key < y.key;
+    if (x.pkt.src != y.pkt.src) return x.pkt.src < y.pkt.src;
+    return a < b;
+  };
+
+  // node[1..k-1] hold the loser of the match played there; the winner of
+  // every replay pops out at the root. Leaf for run r sits at k + r.
+  int node[kMaxMergeRuns];
+  for (int i = 0; i < k; ++i) node[i] = -1;
+  auto replay = [&](int s) {
+    for (int t = (k + s) / 2; t > 0; t /= 2) {
+      if (wins(node[t], s)) std::swap(node[t], s);
+    }
+    return s;
+  };
+  int winner = -1;
+  for (int r = 0; r < k; ++r) winner = replay(r);
+
+  for (;;) {
+    Cursor& c = runs[winner];
+    if (c.pos == c.items->size()) break;  // winner exhausted => all are
+    Outbox::Item& it = (*c.items)[c.pos++];
+    commit(std::move(it.pkt), it.cat);
+    winner = replay(winner);
+  }
 }
 
 bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {

@@ -23,6 +23,18 @@
 // are only popped by the worker that owns the destination node, so the only
 // send/poll-shared word is the in-flight count, which is atomic.
 //
+// Commit-path hot loop: each worker pre-sorts its own outbox into canonical
+// (quantum key, src) order in parallel before the barrier
+// (Outbox::sort_canonical), so the coordinator-side flush only runs an
+// N-way loser-tree merge over pre-sorted runs — O(M log N) with N = worker
+// count instead of the former O(M log M) global stable_sort
+// (FlushKind::kSort, kept as a byte-compared ablation). Deliverability
+// wakeups are batched: instead of one on_deliverable(dst) per committed
+// packet, flush_outboxes runs a single deduplicated rekey pass per
+// destination after all commits — equivalent, because a destination's
+// effective key only falls as packets accumulate, so the post-flush key
+// equals the min over per-packet observations.
+//
 // Buffer management: in-flight packets live in PacketPool slots; the
 // destination heaps order 24-byte references by (arrive_time, src, seq),
 // so heap sifts stop copying whole payloads. Commits acquire slots through
@@ -36,7 +48,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -45,9 +56,16 @@
 #include "net/packet_pool.hpp"
 #include "net/topology.hpp"
 #include "sim/cost_model.hpp"
+#include "util/bucket_queue.hpp"
 #include "util/stats.hpp"
 
 namespace abcl::net {
+
+// How flush_outboxes reconstructs canonical commit order: kMerge (default)
+// loser-tree-merges the workers' pre-sorted runs; kSort is the historical
+// coordinator-side global stable_sort, kept as an ablation baseline
+// (ABCLSIM_FLUSH=sort). Results are byte-identical either way.
+enum class FlushKind { kMerge, kSort };
 
 class Network {
  public:
@@ -73,6 +91,12 @@ class Network {
     bool empty() const { return items_.empty(); }
     std::size_t size() const { return items_.size(); }
 
+    // Stable-sorts the buffered items into canonical (quantum key, src)
+    // order, preserving each source's program order. Workers call this in
+    // parallel at the end of their window so the barrier-side flush only
+    // has to merge; flush_outboxes sorts any box that skipped it.
+    void sort_canonical();
+
    private:
     friend class Network;
     struct Item {
@@ -82,6 +106,7 @@ class Network {
     };
     std::vector<Item> items_;
     sim::Instr current_key_ = 0;
+    bool sorted_ = true;  // empty is trivially sorted
   };
 
   // on_deliverable(dst) fires whenever a packet is enqueued toward dst; the
@@ -89,8 +114,13 @@ class Network {
   // selects recycled packet slots (default) vs per-send heap allocation
   // (the bench_alloc ablation baseline); results are identical either way.
   Network(Topology topology, const sim::CostModel* cm,
-          std::function<void(NodeId)> on_deliverable = {}, bool pooling = true);
+          std::function<void(NodeId)> on_deliverable = {}, bool pooling = true,
+          util::QueueKind queue = util::QueueKind::kBucket,
+          FlushKind flush = FlushKind::kMerge);
   ~Network();
+
+  FlushKind flush_kind() const { return flush_; }
+  util::QueueKind queue_kind() const { return queue_kind_; }
 
   void set_on_deliverable(std::function<void(NodeId)> fn) {
     on_deliverable_ = std::move(fn);
@@ -109,7 +139,10 @@ class Network {
 
   // Commits every buffered send in canonical order — ascending (quantum
   // key, src), preserving each source's program order — which is exactly
-  // the order the serial driver would have issued them.
+  // the order the serial driver would have issued them. Under kMerge,
+  // boxes already in canonical order (sort_canonical) are k-way merged;
+  // unsorted boxes are sorted here first. Fires on_deliverable at most
+  // once per destination, after all commits.
   void flush_outboxes(Outbox* const* boxes, std::size_t nboxes);
 
   // Pops the next packet for `dst` with arrive_time <= now, or nullptr-like
@@ -147,8 +180,8 @@ class Network {
   const PacketPool::Magazine& home_magazine() const { return home_mag_; }
 
  private:
-  // Destination-heap entry: the simulated delivery key plus the pooled
-  // slot holding the payload. Sifting 24 bytes instead of sizeof(Packet)
+  // Destination-queue entry: the simulated delivery key plus the pooled
+  // slot holding the payload. Moving 24 bytes instead of sizeof(Packet)
   // is most of the pooled send/poll win at depth.
   struct QueuedPacket {
     sim::Instr arrive;
@@ -156,18 +189,24 @@ class Network {
     std::uint64_t seq;
     Packet* slot;
   };
+  struct PacketKey {
+    sim::Instr operator()(const QueuedPacket& q) const { return q.arrive; }
+  };
+  // Delivery order: ascending (arrive, src, seq) — a strict total order
+  // (seqs are unique per src), so bucket and heap modes pop identically.
   struct PacketOrder {
     bool operator()(const QueuedPacket& a, const QueuedPacket& b) const {
-      if (a.arrive != b.arrive) return a.arrive > b.arrive;
-      if (a.src != b.src) return a.src > b.src;
-      return a.seq > b.seq;
+      if (a.arrive != b.arrive) return a.arrive < b.arrive;
+      if (a.src != b.src) return a.src < b.src;
+      return a.seq < b.seq;
     }
   };
-  using DstQueue =
-      std::priority_queue<QueuedPacket, std::vector<QueuedPacket>, PacketOrder>;
+  using DstQueue = util::BucketQueue<QueuedPacket, PacketKey, PacketOrder>;
 
   sim::Instr& channel_floor(NodeId src, NodeId dst);
   void commit(Packet&& p, AmCategory category);
+  void flush_merge(Outbox* const* boxes, std::size_t nboxes);
+  void flush_sort(Outbox* const* boxes, std::size_t nboxes);
 
   Topology topology_;
   const sim::CostModel* cm_;
@@ -180,7 +219,14 @@ class Network {
   bool use_matrix_;
   std::vector<std::uint64_t> src_seq_;
   std::vector<Outbox*> outboxes_;     // per-src redirect; nullptr = direct
-  std::vector<Outbox::Item> merge_;   // flush scratch (reused allocation)
+  util::QueueKind queue_kind_;
+  FlushKind flush_;
+  std::vector<Outbox::Item> merge_;   // kSort flush scratch (reused)
+  // Batched-wakeup scratch: destinations touched by the current flush, in
+  // first-commit (canonical) order, deduplicated via the mark vector.
+  bool flush_active_ = false;
+  std::vector<NodeId> flush_touched_;
+  std::vector<std::uint8_t> flush_touched_mark_;
   std::atomic<std::uint64_t> in_flight_{0};
   Stats stats_;
   PacketPool pool_;

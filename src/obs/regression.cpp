@@ -6,7 +6,10 @@
 
 namespace abcl::obs {
 
-const std::vector<std::string> kDefaultIgnoredKeys = {"wall_ms", "host_cores"};
+// Host-dependent keys: wall time, the recorded core count, and the flag
+// derived from it. Never simulated quantities.
+const std::vector<std::string> kDefaultIgnoredKeys = {"wall_ms", "host_cores",
+                                                      "parallel_meaningful"};
 
 namespace {
 

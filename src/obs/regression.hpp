@@ -33,7 +33,8 @@ struct CompareResult {
 };
 
 // Host-dependent fields excluded from bench-trajectory comparison.
-extern const std::vector<std::string> kDefaultIgnoredKeys;  // wall_ms, host_cores
+extern const std::vector<std::string>
+    kDefaultIgnoredKeys;  // wall_ms, host_cores, parallel_meaningful
 
 struct CompareOptions {
   double tol_pct = 0.5;

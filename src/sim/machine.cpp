@@ -11,7 +11,8 @@ Driver::Driver(std::vector<NodeExec*> nodes) : nodes_(std::move(nodes)) {
   }
 }
 
-Machine::Machine(std::vector<NodeExec*> nodes) : Driver(std::move(nodes)) {
+Machine::Machine(std::vector<NodeExec*> nodes, util::QueueKind queue)
+    : Driver(std::move(nodes)), heap_(queue) {
   heap_key_.assign(nodes_.size(), kInstrInf);
 }
 

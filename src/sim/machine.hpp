@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/bucket_queue.hpp"
 
 namespace abcl::sim {
 
@@ -84,7 +84,12 @@ class Driver {
 
 class Machine : public Driver {
  public:
-  explicit Machine(std::vector<NodeExec*> nodes);
+  // `queue` selects the ready structure: the bucketed time queue (default)
+  // or the binary-heap ablation (ABCLSIM_QUEUE=heap via WorldConfig).
+  // Both pop the exact (key, node) total order, so results are
+  // byte-identical either way.
+  explicit Machine(std::vector<NodeExec*> nodes,
+                   util::QueueKind queue = util::QueueKind::kBucket);
 
   void notify_work(NodeId dst) override;
   RunReport run(Instr max_time = kInstrInf) override;
@@ -96,8 +101,15 @@ class Machine : public Driver {
   struct HeapEntry {
     Instr key;
     NodeId node;
-    bool operator>(const HeapEntry& o) const {
-      return key != o.key ? key > o.key : node > o.node;
+  };
+  struct EntryKey {
+    Instr operator()(const HeapEntry& e) const { return e.key; }
+  };
+  // Ascending (key, node) — the serial execution order. A strict total
+  // order: push_node never inserts the same (key, node) twice.
+  struct EntryLess {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.key != b.key ? a.key < b.key : a.node < b.node;
     }
   };
 
@@ -105,10 +117,9 @@ class Machine : public Driver {
   void push_node(NodeId id);
   RunReport run_impl(Instr max_time, std::uint64_t max_quanta);
 
-  // best key currently present in the heap per node; kInstrInf = absent.
+  // best key currently present in the queue per node; kInstrInf = absent.
   std::vector<Instr> heap_key_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
-      heap_;
+  util::BucketQueue<HeapEntry, EntryKey, EntryLess> heap_;
   std::uint64_t quanta_ = 0;
 };
 

@@ -6,12 +6,22 @@
 
 namespace abcl::sim {
 
+namespace {
+// Busy-wait burst before a parked wait. Long enough that a window whose
+// work is already in flight completes without a futex round-trip, short
+// enough that an idle or oversubscribed thread yields the core quickly.
+constexpr int kSpinIters = 2048;
+}  // namespace
+
 ParallelMachine::ParallelMachine(std::vector<NodeExec*> nodes,
                                  net::Network* net, int num_threads)
     : Driver(std::move(nodes)),
       net_(net),
       lookahead_(net != nullptr ? net->min_packet_latency() : 1),
-      workers_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)) {
+      workers_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      // On a single hardware thread, every spin cycle is stolen from the
+      // thread being waited on — park immediately instead.
+      spin_limit_(std::thread::hardware_concurrency() > 1 ? kSpinIters : 0) {
   ABCL_CHECK(lookahead_ > 0);
   // Static round-robin shard: node i -> worker i mod T. Any fixed
   // assignment preserves determinism; round-robin balances the common case
@@ -52,6 +62,12 @@ void ParallelMachine::run_shard(Worker& w) {
     if (key < shard_min) shard_min = key;
   }
   w.shard_min = shard_min;
+  // Pre-sort this worker's run inside the parallel region so the barrier
+  // flush only has to merge. Skipped under the kSort ablation, which
+  // measures the old coordinator-side global sort.
+  if (net_ != nullptr && net_->flush_kind() == net::FlushKind::kMerge) {
+    w.outbox.sort_canonical();
+  }
 }
 
 void ParallelMachine::worker_main(Worker& w) {
@@ -60,15 +76,23 @@ void ParallelMachine::worker_main(Worker& w) {
     std::uint64_t e;
     int spins = 0;
     while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
-      if (++spins >= 4096) {
-        std::this_thread::yield();
-        spins = 0;
+      if (++spins >= spin_limit_) {
+        std::unique_lock<std::mutex> lk(wake_mu_);
+        epoch_cv_.wait(lk, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen;
+        });
+        break;
       }
     }
+    e = epoch_.load(std::memory_order_acquire);
     seen = e;
     if (stop_.load(std::memory_order_acquire)) return;
     run_shard(w);
     w.done.store(e, std::memory_order_release);
+    // Empty critical section: orders the store above before the notify so
+    // a coordinator observing an old `done` under wake_mu_ cannot miss it.
+    { std::lock_guard<std::mutex> lk(wake_mu_); }
+    done_cv_.notify_one();
   }
 }
 
@@ -160,12 +184,17 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
 
     if (threaded) {
       std::uint64_t e = epoch_.fetch_add(1, std::memory_order_release) + 1;
+      { std::lock_guard<std::mutex> lk(wake_mu_); }
+      epoch_cv_.notify_all();
       for (auto& w : workers_) {
         int spins = 0;
         while (w.done.load(std::memory_order_acquire) != e) {
-          if (++spins >= 4096) {
-            std::this_thread::yield();
-            spins = 0;
+          if (++spins >= spin_limit_) {
+            std::unique_lock<std::mutex> lk(wake_mu_);
+            done_cv_.wait(lk, [&] {
+              return w.done.load(std::memory_order_acquire) == e;
+            });
+            break;
           }
         }
       }
@@ -186,6 +215,8 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
   if (threaded) {
     stop_.store(true, std::memory_order_release);
     epoch_.fetch_add(1, std::memory_order_release);
+    { std::lock_guard<std::mutex> lk(wake_mu_); }
+    epoch_cv_.notify_all();
     for (auto& t : threads_) t.join();
     threads_.clear();
   }

@@ -25,10 +25,23 @@
 // network's in-flight counter (atomic) and the packet pool's depot, which a
 // worker only reaches through its magazine's overflow path (mutex-guarded,
 // amortized one trip per kMagazineCap frees).
+//
+// Commit-path parallelism: under the network's default kMerge flush, each
+// worker stable-sorts its own outbox into canonical (quantum key, src)
+// order at the end of its window — inside the parallel region — so the
+// coordinator's flush only runs an N-way merge over pre-sorted runs.
+//
+// Epoch waits are spin-then-park: a bounded busy-wait burst (skipped
+// entirely on single-core hosts, where spinning only steals cycles from
+// the thread being waited on), then a condvar park. The atomics still
+// carry the synchronization; the mutex/condvar pair only prevents lost
+// wakeups around the park.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -109,6 +122,14 @@ class ParallelMachine : public Driver {
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<bool> stop_{false};
+
+  // Park support for the epoch handshake (see file header). wake_mu_ is
+  // only ever held for empty critical sections or around a cv wait; the
+  // epoch_/done atomics remain the published state.
+  int spin_limit_;  // busy-wait iterations before parking; 0 = park at once
+  std::mutex wake_mu_;
+  std::condition_variable epoch_cv_;  // workers park here between windows
+  std::condition_variable done_cv_;   // coordinator parks here at barriers
 
   // Replay scratch + original tracers saved across a run() while buffers
   // are interposed (index = node id; nullptr = node had no tracer).

@@ -14,6 +14,8 @@
 #include "net/packet_pool.hpp"
 #include "apps/pingpong.hpp"
 #include "apps/sieve.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/program_gen.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace.hpp"
@@ -251,6 +253,47 @@ TEST(PingPongCrossDriver, BitIdenticalAtEveryThreadCount) {
   }
 }
 
+// The commit-path (merge vs sort) and time-queue (bucket vs heap) ablations
+// must be pure host-side strategies: every observable — metrics_json
+// byte-for-byte, the order-sensitive trace fingerprint, counters — must
+// match the default configuration on the whole committed fuzz corpus.
+void expect_run_identical(const fuzz::RunResult& base,
+                          const fuzz::RunResult& alt, const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(alt.sim_time, base.sim_time);
+  EXPECT_EQ(alt.quanta, base.quanta);
+  EXPECT_EQ(alt.trace_events, base.trace_events);
+  EXPECT_EQ(alt.trace_hash, base.trace_hash);
+  EXPECT_EQ(alt.packets, base.packets);
+  EXPECT_EQ(alt.wire_words, base.wire_words);
+  EXPECT_EQ(alt.created, base.created);
+  EXPECT_TRUE(alt.per_node == base.per_node);
+  ASSERT_EQ(alt.metrics_json, base.metrics_json);
+}
+
+TEST(FlushAndQueueAblations, ByteIdenticalOnFuzzCorpus) {
+  using util::QueueKind;
+  using net::FlushKind;
+  const sim::CostModel cost = sim::CostModel::ap1000();
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::Spec spec = fuzz::generate(seed);
+    // Baseline: serial driver, default bucket queue + merge flush.
+    fuzz::RunResult base = fuzz::run_spec(spec, kSerial, cost);
+    expect_run_identical(
+        base, fuzz::run_spec(spec, kSerial, cost, QueueKind::kHeap),
+        "serial, heap-queue ablation");
+    expect_run_identical(
+        base,
+        fuzz::run_spec(spec, 8, cost, QueueKind::kBucket, FlushKind::kSort),
+        "8 threads, global-sort flush ablation");
+    expect_run_identical(
+        base,
+        fuzz::run_spec(spec, 8, cost, QueueKind::kHeap, FlushKind::kMerge),
+        "8 threads, heap-queue + merge flush");
+  }
+}
+
 TEST(HostThreads, EnvVariableSelectsDriver) {
   core::Program prog;
   apps::register_pingpong(prog);
@@ -309,6 +352,28 @@ TEST(HostThreads, ParserRejectsGarbageZeroAndNegative) {
   reject("1025", "implausibly large");
   reject("99999999999999999999", "implausibly large");  // no overflow UB
   reject(" ", "blank");
+}
+
+TEST(EnvKnobs, QueueAndFlushSelection) {
+  ASSERT_EQ(setenv("ABCLSIM_QUEUE", "heap", 1), 0);
+  ASSERT_EQ(setenv("ABCLSIM_FLUSH", "sort", 1), 0);
+  WorldConfig cfg = WorldConfig::from_env();
+  EXPECT_EQ(cfg.queue, util::QueueKind::kHeap);
+  EXPECT_EQ(cfg.flush, net::FlushKind::kSort);
+  {
+    core::Program prog;
+    apps::register_pingpong(prog);
+    prog.finalize();
+    cfg.nodes = 2;
+    World world(prog, cfg);
+    EXPECT_EQ(world.network().queue_kind(), util::QueueKind::kHeap);
+    EXPECT_EQ(world.network().flush_kind(), net::FlushKind::kSort);
+  }
+  ASSERT_EQ(unsetenv("ABCLSIM_QUEUE"), 0);
+  ASSERT_EQ(unsetenv("ABCLSIM_FLUSH"), 0);
+  cfg = WorldConfig::from_env();
+  EXPECT_EQ(cfg.queue, util::QueueKind::kBucket);
+  EXPECT_EQ(cfg.flush, net::FlushKind::kMerge);
 }
 
 }  // namespace

@@ -2,12 +2,15 @@
 // FIFO, RNG, statistics, table printer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
+#include <queue>
 #include <set>
 #include <vector>
 
 #include "util/arena.hpp"
+#include "util/bucket_queue.hpp"
 #include "util/intrusive_list.hpp"
 #include "util/rng.hpp"
 #include "util/slab.hpp"
@@ -540,6 +543,198 @@ TEST(Table, NumGroupsThousands) {
   EXPECT_EQ(Table::num(std::uint64_t{92}), "92");
   EXPECT_EQ(Table::num(std::uint64_t{1000}), "1,000");
   EXPECT_EQ(Table::num(2.345, 2), "2.35");
+}
+
+// --------------------------------------------------------- BucketQueue ----
+
+constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+struct BqEntry {
+  std::uint64_t key;
+  std::int32_t id;
+  bool operator==(const BqEntry&) const = default;
+};
+struct BqKey {
+  std::uint64_t operator()(const BqEntry& e) const { return e.key; }
+};
+struct BqLess {
+  bool operator()(const BqEntry& a, const BqEntry& b) const {
+    return a.key != b.key ? a.key < b.key : a.id < b.id;
+  }
+};
+using Bq = BucketQueue<BqEntry, BqKey, BqLess>;
+
+// Reference min-queue: std::priority_queue pops the max, so invert.
+struct BqGreater {
+  bool operator()(const BqEntry& a, const BqEntry& b) const {
+    return BqLess{}(b, a);
+  }
+};
+using RefQueue =
+    std::priority_queue<BqEntry, std::vector<BqEntry>, BqGreater>;
+
+TEST(BucketQueue, PopsInKeyThenIdOrder) {
+  for (QueueKind mode : {QueueKind::kBucket, QueueKind::kHeap}) {
+    Bq q(mode);
+    q.push({30, 1});
+    q.push({10, 2});
+    q.push({20, 3});
+    q.push({10, 1});
+    ASSERT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.top(), (BqEntry{10, 1}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{10, 2}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{20, 3}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{30, 1}));
+    q.pop();
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(BucketQueue, TieBreakIsDeterministicAcrossInsertionOrders) {
+  // All-equal keys must drain in id order regardless of push order or mode.
+  std::vector<std::int32_t> order = {7, 2, 9, 0, 5, 3, 8, 1, 6, 4};
+  for (QueueKind mode : {QueueKind::kBucket, QueueKind::kHeap}) {
+    Bq q(mode);
+    for (std::int32_t id : order) q.push({42, id});
+    for (std::int32_t want = 0; want < 10; ++want) {
+      EXPECT_EQ(q.top(), (BqEntry{42, want}));
+      q.pop();
+    }
+  }
+}
+
+// Interleaved random pushes/pops against std::priority_queue, across a key
+// distribution that exercises monotone drift, far-future jumps (overflow
+// tier + rebase) and late pushes below the active bucket.
+TEST(BucketQueue, RandomizedEquivalenceVsPriorityQueue) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Xoshiro256 rng(seed);
+    Bq q(QueueKind::kBucket);
+    RefQueue ref;
+    std::uint64_t front = 0;  // drifting time front
+    std::int32_t next_id = 0;
+    for (int step = 0; step < 20000; ++step) {
+      const bool can_pop = !ref.empty();
+      if (!can_pop || rng.below(100) < 55) {
+        std::uint64_t k;
+        switch (rng.below(10)) {
+          case 0: k = front + rng.below(1u << 20);  break;  // far jump
+          case 1: k = front - std::min(front, rng.below(16)); break;  // late
+          default: k = front + rng.below(64); break;  // monotone-ish
+        }
+        BqEntry e{k, next_id++};
+        q.push(e);
+        ref.push(e);
+      } else {
+        ASSERT_EQ(q.top(), ref.top()) << "seed " << seed << " step " << step;
+        if (q.top().key > front) front = q.top().key;
+        q.pop();
+        ref.pop();
+      }
+      ASSERT_EQ(q.size(), ref.size());
+    }
+    while (!ref.empty()) {
+      ASSERT_EQ(q.top(), ref.top());
+      q.pop();
+      ref.pop();
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(BucketQueue, BucketAndHeapModesPopIdentically) {
+  Xoshiro256 rng(99);
+  Bq a(QueueKind::kBucket);
+  Bq b(QueueKind::kHeap);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.below(32);
+    BqEntry e{rng.below(50) == 0 ? t + (1u << 24) : t,
+              static_cast<std::int32_t>(i)};
+    a.push(e);
+    b.push(e);
+    if (rng.below(3) == 0) {
+      ASSERT_EQ(a.top(), b.top()) << "i=" << i;
+      a.pop();
+      b.pop();
+    }
+  }
+  while (!a.empty()) {
+    ASSERT_EQ(a.top(), b.top());
+    a.pop();
+    b.pop();
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BucketQueue, LatePushBelowActiveBucketStaysExact) {
+  Bq q(QueueKind::kBucket);
+  for (std::uint64_t k = 100; k < 150; ++k) q.push({k, 0});
+  // Drain partway so the active bucket has a consumed prefix.
+  for (int i = 0; i < 20; ++i) q.pop();
+  EXPECT_EQ(q.top().key, 120u);
+  // A key below everything already popped must still surface first, and
+  // must not resurrect consumed entries.
+  q.push({5, 0});
+  EXPECT_EQ(q.top().key, 5u);
+  q.pop();
+  std::uint64_t prev = 0;
+  while (!q.empty()) {
+    EXPECT_GT(q.top().key, prev);
+    prev = q.top().key;
+    q.pop();
+  }
+  EXPECT_EQ(prev, 149u);
+}
+
+TEST(BucketQueue, InfinityKeysAndFullSpanRebase) {
+  // kInstrInf-magnitude keys plus key 0 force the widest possible rebase
+  // (span ~2^64); all arithmetic must stay overflow-safe.
+  for (QueueKind mode : {QueueKind::kBucket, QueueKind::kHeap}) {
+    Bq q(mode);
+    q.push({kInf, 1});
+    q.push({0, 2});
+    q.push({kInf - 1, 3});
+    q.push({kInf, 0});
+    q.push({1u << 31, 4});
+    EXPECT_EQ(q.top(), (BqEntry{0, 2}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{std::uint64_t{1} << 31, 4}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{kInf - 1, 3}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{kInf, 0}));
+    q.pop();
+    EXPECT_EQ(q.top(), (BqEntry{kInf, 1}));
+    q.pop();
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(BucketQueue, ClearAndReuse) {
+  Bq q(QueueKind::kBucket);
+  for (std::uint64_t k = 0; k < 100; ++k) q.push({k * 1000, 0});
+  q.pop();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push({7, 1});
+  EXPECT_EQ(q.top(), (BqEntry{7, 1}));
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, SetModeRequiresEmpty) {
+  Bq q(QueueKind::kBucket);
+  q.set_mode(QueueKind::kHeap);  // empty: allowed
+  q.push({1, 0});
+  EXPECT_EQ(q.mode(), QueueKind::kHeap);
+  q.pop();
+  q.set_mode(QueueKind::kBucket);
+  EXPECT_EQ(q.mode(), QueueKind::kBucket);
 }
 
 }  // namespace
