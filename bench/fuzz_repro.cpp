@@ -9,6 +9,11 @@
 //                                            written to D; exit 1 on any
 //                                            failure
 //
+// Any mode also takes --faults SPEC (same grammar as ABCLSIM_FAULTS, e.g.
+// "drop=0.05,dup=0.01,seed=7"): the parsed FaultConfig is overlaid on every
+// spec before it runs, so the whole corpus can be swept under a fault plan
+// without regenerating repro files. "--faults off" strips the block instead.
+//
 // Exit status: 0 = all checks passed, 1 = oracle failure, 2 = usage/I/O
 // error. CI runs `--sweep` as the extended fuzz job; developers replay
 // artifacts with `--spec`.
@@ -21,6 +26,7 @@
 #include "fuzz/program_gen.hpp"
 #include "fuzz/shrinker.hpp"
 #include "fuzz/spec.hpp"
+#include "net/fault.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -32,8 +38,21 @@ int usage() {
                "usage: fuzz_repro --seed N [--dump FILE]\n"
                "       fuzz_repro --spec FILE\n"
                "       fuzz_repro --shrink FILE --out FILE\n"
-               "       fuzz_repro --sweep N [--artifact-dir D]\n");
+               "       fuzz_repro --sweep N [--artifact-dir D]\n"
+               "       (any mode) --faults SPEC\n");
   return 2;
+}
+
+// Set by --faults; nullopt = leave each spec's own faults block alone.
+std::optional<net::FaultConfig> g_faults;
+
+void overlay_faults(fuzz::Spec& s) {
+  if (!g_faults.has_value()) return;
+  if (g_faults->enabled) {
+    s.faults = *g_faults;
+  } else {
+    s.faults.reset();  // "--faults off" replays a fault repro fault-free
+  }
 }
 
 bool oracle_fails(const fuzz::Spec& s) { return !fuzz::check_spec(s).ok; }
@@ -91,6 +110,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       artifact_dir = v;
+    } else if (a == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      std::string err;
+      g_faults = net::parse_fault_spec(v, &err);
+      if (!g_faults.has_value()) {
+        std::fprintf(stderr, "--faults: %s\n", err.c_str());
+        return 2;
+      }
     } else {
       return usage();
     }
@@ -99,6 +127,7 @@ int main(int argc, char** argv) {
 
   if (mode == "--seed") {
     fuzz::Spec spec = fuzz::generate(std::strtoull(arg.c_str(), nullptr, 0));
+    overlay_faults(spec);
     if (!dump.empty() && !obs::write_file(dump, spec.to_json())) {
       std::fprintf(stderr, "cannot write %s\n", dump.c_str());
       return 2;
@@ -109,6 +138,7 @@ int main(int argc, char** argv) {
   if (mode == "--spec") {
     std::optional<fuzz::Spec> spec = load(arg);
     if (!spec.has_value()) return 2;
+    overlay_faults(*spec);
     return check_and_report(*spec, arg);
   }
 
@@ -116,6 +146,7 @@ int main(int argc, char** argv) {
     if (out.empty()) return usage();
     std::optional<fuzz::Spec> spec = load(arg);
     if (!spec.has_value()) return 2;
+    overlay_faults(*spec);
     if (!oracle_fails(*spec)) {
       std::fprintf(stderr, "%s passes the oracle; nothing to shrink\n",
                    arg.c_str());
@@ -138,6 +169,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (std::uint64_t seed = 1; seed <= n; ++seed) {
     fuzz::Spec spec = fuzz::generate(seed);
+    overlay_faults(spec);
     fuzz::OracleResult r = fuzz::check_spec(spec);
     if (r.ok) continue;
     ++failures;

@@ -73,6 +73,11 @@ WorldConfig WorldConfig::from_env() {
   cfg.pooling = parse_pooling_env(std::getenv("ABCLSIM_POOLING"));
   cfg.queue = parse_queue_env(std::getenv("ABCLSIM_QUEUE"));
   cfg.flush = parse_flush_env(std::getenv("ABCLSIM_FLUSH"));
+  err.clear();
+  std::optional<net::FaultConfig> faults =
+      net::parse_fault_spec(std::getenv("ABCLSIM_FAULTS"), &err);
+  ABCL_CHECK_MSG(faults.has_value(), ("ABCLSIM_FAULTS " + err).c_str());
+  cfg.faults = *faults;
   return cfg;
 }
 
@@ -111,7 +116,7 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
   net_ = std::make_unique<net::Network>(
       net::Topology(cfg_.topology, cfg_.nodes), &cfg_.cost,
       std::function<void(core::NodeId)>{}, cfg_.pooling, cfg_.queue,
-      cfg_.flush);
+      cfg_.flush, cfg_.faults);
 
   nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (std::int32_t i = 0; i < cfg_.nodes; ++i) {

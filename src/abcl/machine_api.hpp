@@ -53,13 +53,20 @@ struct WorldConfig {
   // global sort ablation (ABCLSIM_FLUSH=sort). Commit order is identical —
   // results never change.
   net::FlushKind flush = net::FlushKind::kMerge;
+  // Deterministic network fault injection (drop/dup/delay/blackout) plus
+  // the delivery-hardening protocol; see net/fault.hpp. Disabled by default
+  // — a faults-off World is byte-identical to one built before this knob
+  // existed. Set via with_faults(), or ABCLSIM_FAULTS through from_env().
+  net::FaultConfig faults;
 
   // Builds a config with every environment-controlled knob resolved here,
   // once, strictly: ABCLSIM_HOST_THREADS (see parse_host_threads; unset ->
   // serial, recorded as host_threads = -1 so the result never re-consults
   // the environment), ABCLSIM_POOLING (unset/1/true/on -> pooled,
   // 0/false/off -> ablation baseline), ABCLSIM_QUEUE (unset/bucket or
-  // heap) and ABCLSIM_FLUSH (unset/merge or sort); anything else aborts.
+  // heap), ABCLSIM_FLUSH (unset/merge or sort) and ABCLSIM_FAULTS (unset or
+  // "off" -> no faults; otherwise a strict net::parse_fault_spec string
+  // like "drop=0.05,dup=0.01,seed=7"); anything else aborts.
   // New environment knobs must be absorbed here, not scattered.
   static WorldConfig from_env();
 
@@ -81,6 +88,10 @@ struct WorldConfig {
   WorldConfig& with_pooling(bool on) { pooling = on; return *this; }
   WorldConfig& with_queue(util::QueueKind q) { queue = q; return *this; }
   WorldConfig& with_flush(net::FlushKind f) { flush = f; return *this; }
+  WorldConfig& with_faults(const net::FaultConfig& f) {
+    faults = f;
+    return *this;
+  }
 };
 
 // Strict parser behind ABCLSIM_HOST_THREADS. nullptr/empty -> 0 (serial);

@@ -63,10 +63,21 @@ void NodeRuntime::step() {
   // the pre-quantum state, which is what lets the host-parallel driver run
   // whole lookahead windows of quanta concurrently yet bit-identically.
   net::Packet pkt;
+  bool dup = false;
   int handled = 0;
   while (handled < cfg_.max_packets_per_quantum &&
-         net_->poll(id_, quantum_start_clock_, pkt)) {
+         net_->poll(id_, quantum_start_clock_, pkt, &dup)) {
     charge(cm_->recv_handler);
+    if (dup) {
+      // A retransmitted or network-duplicated copy the dedup window already
+      // saw: the receiver still burns handler instructions recognizing it
+      // (the real cost of at-least-once delivery) but must not dispatch —
+      // and it contributes nothing to the delivery stats, which count
+      // logical messages.
+      trace(sim::TraceEv::kFaultDup, pkt.handler);
+      ++handled;
+      continue;
+    }
     stats_.remote_recv += 1;
     // Send -> dispatch latency in simulated instrs: the wire plus however
     // long the packet sat deliverable in the receive queue. The dispatch
@@ -75,6 +86,7 @@ void NodeRuntime::step() {
     auto cat = static_cast<int>(prog_->am().entry(pkt.handler).category);
     stats_.msg_latency[cat].add(static_cast<std::uint64_t>(clock_ - pkt.send_time));
     trace(sim::TraceEv::kRecvRemote, pkt.handler);
+    if (pkt.retries != 0) trace(sim::TraceEv::kFaultRetry, pkt.retries);
     prog_->am().dispatch(pkt.handler, this, pkt);
     ++handled;
   }

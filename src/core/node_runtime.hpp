@@ -231,8 +231,18 @@ class NodeRuntime final : public sim::NodeExec {
   }
 
   // Known loads of peers (maintained by the Category-4 gossip service).
-  std::uint32_t known_load(NodeId peer) const { return loads_.get(peer); }
-  void note_peer_load(NodeId peer, std::uint32_t load) { loads_.note(peer, load); }
+  // nullopt = never heard from, or last heard more than 2x gossip_interval
+  // quanta ago (stale figures are worse than none: a peer whose gossip
+  // stopped — blackout, drops, overload — must not keep advertising its
+  // old load). With gossip disabled (interval 0) entries never age.
+  std::optional<std::uint32_t> known_load(NodeId peer) const {
+    const std::uint64_t max_age =
+        cfg_.gossip_interval == 0 ? 0 : 2ull * cfg_.gossip_interval;
+    return loads_.get(peer, quanta_run_, max_age);
+  }
+  void note_peer_load(NodeId peer, std::uint32_t load) {
+    loads_.note(peer, load, quanta_run_);
+  }
   void gossip_load_now();
 
   // Placement policy used by apps for remote creation targets.

@@ -302,6 +302,7 @@ FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
   cfg.seed = spec_.seed | 1;
   cfg.queue = queue;
   cfg.flush = flush;
+  if (spec_.faults.has_value()) cfg.faults = *spec_.faults;
 
   counters_.assign(static_cast<std::size_t>(spec_.nodes), Counters{});
   rc_.spec = &spec_;

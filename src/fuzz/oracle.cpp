@@ -87,6 +87,33 @@ bool check_invariants(const Spec& spec, const RunResult& rr,
               "object left in waiting mode at quiescence");
   FUZZ_EXPECT(res, rr.queued_msgs == 0,
               "message left queued at quiescence");
+  if (spec.faults.has_value()) {
+    // Exactly-once delivery under faults. `packets` counts logical sends
+    // (the commit-side view before the retry protocol multiplies them into
+    // physical copies); every one must be dispatched to its handler exactly
+    // once, and every surviving extra copy must be suppressed — the
+    // conservation chain attempts -> copies -> delivered closes exactly.
+    FUZZ_EXPECT(res, rr.fault_delivered == rr.packets,
+                "faults: delivered " + std::to_string(rr.fault_delivered) +
+                    " != logical packets " + std::to_string(rr.packets) +
+                    " (lost or multiply-dispatched message)");
+    FUZZ_EXPECT(res,
+                rr.fault_delivered + rr.fault_dup_suppressed == rr.fault_copies,
+                "faults: delivered + suppressed != copies enqueued");
+    FUZZ_EXPECT(res,
+                rr.fault_copies ==
+                    rr.fault_attempts - rr.fault_drops + rr.fault_duplicates,
+                "faults: copy conservation violated (attempts " +
+                    std::to_string(rr.fault_attempts) + " - losses " +
+                    std::to_string(rr.fault_drops) + " + dups " +
+                    std::to_string(rr.fault_duplicates) + " != copies " +
+                    std::to_string(rr.fault_copies) + ")");
+    FUZZ_EXPECT(res, rr.fault_attempts >= rr.packets,
+                "faults: fewer physical attempts than logical packets");
+  } else {
+    FUZZ_EXPECT(res, rr.fault_attempts == 0 && rr.fault_copies == 0,
+                "faults-off run reported fault activity");
+  }
   return true;
 }
 
@@ -113,6 +140,15 @@ bool check_identical(const RunResult& a, const RunResult& b, int threads,
                   b.latch_received == a.latch_received &&
                   b.latch_total == a.latch_total,
               w + ": latch state differs");
+  FUZZ_EXPECT(res,
+              b.fault_attempts == a.fault_attempts &&
+                  b.fault_drops == a.fault_drops &&
+                  b.fault_duplicates == a.fault_duplicates &&
+                  b.fault_copies == a.fault_copies &&
+                  b.fault_delivered == a.fault_delivered &&
+                  b.fault_dup_suppressed == a.fault_dup_suppressed &&
+                  b.fault_forced == a.fault_forced,
+              w + ": fault-schedule counters differ");
   FUZZ_EXPECT(res, b.metrics_json == a.metrics_json,
               w + ": metrics_json not byte-identical");
   return true;
@@ -196,6 +232,16 @@ RunResult run_spec(const Spec& spec, int host_threads,
   rr.latch_done = l.done();
   rr.waiting_objects = fw.waiting_static_objects();
   rr.queued_msgs = fw.queued_static_msgs();
+  if (fw.world().network().faults_enabled()) {
+    const net::FaultStats fs = fw.world().network().fault_stats();
+    rr.fault_attempts = fs.attempts;
+    rr.fault_drops = fs.drops + fs.blackout_drops;
+    rr.fault_duplicates = fs.duplicates;
+    rr.fault_copies = fs.copies_enqueued;
+    rr.fault_delivered = fs.delivered;
+    rr.fault_dup_suppressed = fs.dup_suppressed;
+    rr.fault_forced = fs.forced_deliveries;
+  }
   return rr;
 }
 

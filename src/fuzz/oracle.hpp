@@ -85,6 +85,16 @@ struct RunResult {
   bool latch_done = false;
   std::uint64_t waiting_objects = 0;
   std::uint64_t queued_msgs = 0;
+  // Fault-layer accounting (all zero when the Spec carries no faults block).
+  // check_invariants turns these into an exactly-once-delivery proof:
+  // every logical packet is dispatched once, every extra copy suppressed.
+  std::uint64_t fault_attempts = 0;
+  std::uint64_t fault_drops = 0;  // drop-hash + blackout losses combined
+  std::uint64_t fault_duplicates = 0;
+  std::uint64_t fault_copies = 0;
+  std::uint64_t fault_delivered = 0;
+  std::uint64_t fault_dup_suppressed = 0;
+  std::uint64_t fault_forced = 0;
 };
 
 // `queue`/`flush` select the time-queue and commit-path ablations; every

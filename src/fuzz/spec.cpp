@@ -105,6 +105,51 @@ bool read_i32(const obs::JsonValue* v, std::int32_t* out) {
   return true;
 }
 
+bool read_u64(const obs::JsonValue* v, std::uint64_t* out) {
+  if (v == nullptr || v->kind != obs::JsonValue::Kind::kNumber ||
+      !v->is_integer || v->integer < 0) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v->integer);
+  return true;
+}
+
+bool read_u32(const obs::JsonValue* v, std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!read_u64(v, &wide) || wide > 0xFFFFFFFFull) return false;
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+void faults_json(obs::JsonWriter& w, const net::FaultConfig& fc) {
+  w.key("faults");
+  w.begin_object();
+  w.field("drop_ppm", static_cast<std::uint64_t>(fc.drop_ppm));
+  w.field("dup_ppm", static_cast<std::uint64_t>(fc.dup_ppm));
+  w.field("delay_ppm", static_cast<std::uint64_t>(fc.delay_ppm));
+  w.field("delay_max", fc.delay_max);
+  w.field("blackout_ppm", static_cast<std::uint64_t>(fc.blackout_ppm));
+  w.field("blackout_window", fc.blackout_window);
+  w.field("rto", fc.rto);
+  w.field("rto_max", fc.rto_max);
+  w.field("seed", fc.seed);
+  w.end_object();
+}
+
+bool read_faults(const obs::JsonValue* v, net::FaultConfig* out) {
+  if (v == nullptr || v->kind != obs::JsonValue::Kind::kObject) return false;
+  out->enabled = true;
+  return read_u32(v->find("drop_ppm"), &out->drop_ppm) &&
+         read_u32(v->find("dup_ppm"), &out->dup_ppm) &&
+         read_u32(v->find("delay_ppm"), &out->delay_ppm) &&
+         read_u64(v->find("delay_max"), &out->delay_max) &&
+         read_u32(v->find("blackout_ppm"), &out->blackout_ppm) &&
+         read_u64(v->find("blackout_window"), &out->blackout_window) &&
+         read_u64(v->find("rto"), &out->rto) &&
+         read_u64(v->find("rto_max"), &out->rto_max) &&
+         read_u64(v->find("seed"), &out->seed);
+}
+
 bool read_action(const obs::JsonValue& v, Action* out) {
   if (v.kind != obs::JsonValue::Kind::kArray || v.array.size() != 3) {
     return false;
@@ -158,6 +203,15 @@ bool Spec::validate(std::string* error) const {
   if (objects.empty() || objects.size() > 4096) {
     return fail(error, "objects count not in [1,4096]");
   }
+  if (faults.has_value()) {
+    if (!faults->enabled) {
+      return fail(error, "faults block present but disabled (omit it instead)");
+    }
+    std::string ferr;
+    if (!net::validate_fault_config(*faults, &ferr)) {
+      return fail(error, "faults: " + ferr);
+    }
+  }
   if (dynamic.size() > 4096) return fail(error, "too many dynamic templates");
   if (boot.size() > 4096) return fail(error, "too many boot messages");
   for (std::size_t i = 0; i < objects.size(); ++i) {
@@ -195,6 +249,7 @@ std::string Spec::to_json() const {
   w.field("reduction_budget", static_cast<std::uint64_t>(reduction_budget));
   w.field("seed_stock_depth", static_cast<std::int64_t>(seed_stock_depth));
   w.field("disable_replenish", disable_replenish);
+  if (faults.has_value()) faults_json(w, *faults);
   w.key("objects");
   w.begin_array();
   for (const ObjectSpec& os : objects) object_json(w, os);
@@ -249,6 +304,12 @@ std::optional<Spec> Spec::from_json(std::string_view text, std::string* error) {
     return bad("bad disable_replenish");
   }
   s.disable_replenish = dis->boolean;
+  // Optional (absent in every pre-fault repro file; schema stays v1).
+  if (const obs::JsonValue* fv = root->find("faults"); fv != nullptr) {
+    net::FaultConfig fc;
+    if (!read_faults(fv, &fc)) return bad("bad faults block");
+    s.faults = fc;
+  }
   if (!read_objects(root->find("objects"), &s.objects)) {
     return bad("bad objects array");
   }

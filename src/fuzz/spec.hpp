@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "net/fault.hpp"
+
 namespace abcl::fuzz {
 
 enum class Op : std::int32_t {
@@ -73,6 +75,12 @@ struct Spec {
   std::uint32_t reduction_budget = 4096;
   std::int32_t seed_stock_depth = 0;  // World::seed_stocks warm start
   bool disable_replenish = false;     // Category-3 ablation
+
+  // Optional deterministic fault plan injected under the program. Serialized
+  // as a "faults" object; its absence keeps old committed repro files valid
+  // under the unchanged v1 schema (from_json ignores unknown keys, so old
+  // binaries also tolerate new repros that carry the block).
+  std::optional<net::FaultConfig> faults;
 
   std::vector<ObjectSpec> objects;  // static, index-addressed
   std::vector<ObjectSpec> dynamic;  // templates for kCreate

@@ -1,0 +1,315 @@
+#include "net/fault.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace abcl::net {
+
+// ----------------------------------------------------------------------------
+// FaultPlan
+// ----------------------------------------------------------------------------
+
+FaultPlan::FaultPlan(const FaultConfig& cfg, sim::Instr min_latency)
+    : cfg_(cfg) {
+  std::string err;
+  ABCL_CHECK_MSG(validate_fault_config(cfg_, &err), err.c_str());
+  ABCL_CHECK(min_latency > 0);
+  rto_ = cfg_.rto != 0 ? cfg_.rto : 4 * min_latency;
+  if (rto_ > cfg_.rto_max) rto_ = cfg_.rto_max;
+}
+
+std::uint64_t FaultPlan::remix(std::uint64_t x) {
+  return util::splitmix64(x);  // advances x; we want the output only
+}
+
+std::uint64_t FaultPlan::roll(std::uint64_t tag, std::int32_t src,
+                              std::int32_t dst, std::uint64_t seq,
+                              std::uint32_t attempt) const {
+  // A short SplitMix chain over the decision coordinates. Every input is a
+  // simulated quantity; equal coordinates always produce equal rolls, which
+  // is what makes serial and parallel runs agree decision-for-decision.
+  std::uint64_t x = cfg_.seed;
+  x = remix(x ^ (tag * 0x9e3779b97f4a7c15ull));
+  x = remix(x ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                  << 32) |
+                 static_cast<std::uint32_t>(dst)));
+  x = remix(x ^ seq);
+  x = remix(x ^ attempt);
+  return x;
+}
+
+// ----------------------------------------------------------------------------
+// DedupWindow
+// ----------------------------------------------------------------------------
+
+void DedupWindow::advance() {
+  for (;;) {
+    while (bits_ & 1) {
+      bits_ >>= 1;
+      ++base_;
+    }
+    // Pull spilled sequences that now fit the bitmap; re-loop in case they
+    // extend the delivered prefix further.
+    bool migrated = false;
+    while (!far_.empty() && *far_.begin() < base_ + kBits) {
+      bits_ |= std::uint64_t{1} << (*far_.begin() - base_);
+      far_.erase(far_.begin());
+      migrated = true;
+    }
+    if (!migrated) return;
+  }
+}
+
+bool DedupWindow::accept(std::uint64_t seq) {
+  if (seq < base_) return false;  // inside the delivered prefix: duplicate
+  if (seq < base_ + kBits) {
+    const std::uint64_t bit = std::uint64_t{1} << (seq - base_);
+    if (bits_ & bit) return false;
+    bits_ |= bit;
+    advance();
+    return true;
+  }
+  return far_.insert(seq).second;
+}
+
+// ----------------------------------------------------------------------------
+// FaultStats
+// ----------------------------------------------------------------------------
+
+void FaultStats::merge(const FaultStats& o) {
+  // Field-coverage guard in the Network::Stats::merge style: adding a
+  // FaultStats member without merging it here breaks the totals silently.
+  static_assert(sizeof(FaultStats) == 10 * sizeof(std::uint64_t) +
+                                          sizeof(util::Log2Histogram),
+                "new FaultStats field? merge it here and in the tests");
+  attempts += o.attempts;
+  drops += o.drops;
+  blackout_drops += o.blackout_drops;
+  duplicates += o.duplicates;
+  delays += o.delays;
+  spurious_retransmits += o.spurious_retransmits;
+  forced_deliveries += o.forced_deliveries;
+  copies_enqueued += o.copies_enqueued;
+  delivered += o.delivered;
+  dup_suppressed += o.dup_suppressed;
+  retry_delay_instr.merge(o.retry_delay_instr);
+}
+
+// ----------------------------------------------------------------------------
+// Config validation / parsing
+// ----------------------------------------------------------------------------
+
+namespace {
+
+bool cfg_fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+}  // namespace
+
+bool validate_fault_config(const FaultConfig& cfg, std::string* err) {
+  if (!cfg.enabled) return true;
+  if (cfg.drop_ppm >= kPpmOne) {
+    return cfg_fail(err,
+                    "fault config: drop probability 1.0 loses every attempt "
+                    "on every link — a guaranteed livelock; use < 1.0");
+  }
+  if (cfg.blackout_ppm >= kPpmOne) {
+    return cfg_fail(err,
+                    "fault config: blackout probability 1.0 keeps every link "
+                    "permanently dark — a guaranteed livelock; use < 1.0");
+  }
+  if (cfg.dup_ppm > kPpmOne) {
+    return cfg_fail(err, "fault config: dup probability > 1.0");
+  }
+  if (cfg.delay_ppm > kPpmOne) {
+    return cfg_fail(err, "fault config: delay probability > 1.0");
+  }
+  if (cfg.delay_max < 1) {
+    return cfg_fail(err, "fault config: delay_max must be >= 1 instr");
+  }
+  if (cfg.blackout_window < 1) {
+    return cfg_fail(err, "fault config: blackout_window must be >= 1 instr");
+  }
+  if (cfg.rto_max < 1) {
+    return cfg_fail(err, "fault config: rto_max must be >= 1 instr");
+  }
+  if (cfg.rto > cfg.rto_max) {
+    return cfg_fail(err, "fault config: rto exceeds rto_max");
+  }
+  return true;
+}
+
+namespace {
+
+// "0.05" / "1" / ".25" -> ppm. Strict: decimal digits only, at most six
+// fractional digits (the ppm resolution), value <= 1.
+std::optional<std::uint32_t> parse_prob_ppm(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t dot = s.find('.');
+  std::string ip = dot == std::string::npos ? s : s.substr(0, dot);
+  std::string fp = dot == std::string::npos ? "" : s.substr(dot + 1);
+  if (ip.empty() && fp.empty()) return std::nullopt;
+  if (fp.size() > 6) return std::nullopt;  // sub-ppm precision unsupported
+  std::uint64_t whole = 0;
+  for (char c : ip) {
+    if (c < '0' || c > '9') return std::nullopt;
+    whole = whole * 10 + static_cast<std::uint64_t>(c - '0');
+    if (whole > 1) return std::nullopt;
+  }
+  std::uint64_t frac = 0;
+  for (char c : fp) {
+    if (c < '0' || c > '9') return std::nullopt;
+    frac = frac * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  for (std::size_t i = fp.size(); i < 6; ++i) frac *= 10;
+  std::uint64_t ppm = whole * kPpmOne + frac;
+  if (ppm > kPpmOne) return std::nullopt;
+  return static_cast<std::uint32_t>(ppm);
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (v > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::optional<FaultConfig> parse_fault_spec(const char* text,
+                                            std::string* err) {
+  FaultConfig cfg;
+  if (text == nullptr || *text == '\0') return cfg;  // unset: faults off
+  const std::string raw = text;
+  auto fail = [&](const std::string& why) -> std::optional<FaultConfig> {
+    if (err != nullptr) {
+      *err = "fault spec \"" + raw + "\": " + why +
+             " (expected comma-separated drop/dup/delay/blackout=PROB, "
+             "delay_max/blackout_window/rto/rto_max/seed=N)";
+    }
+    return std::nullopt;
+  };
+  if (trim(raw) == "off") return cfg;
+  cfg.enabled = true;
+
+  bool seen[9] = {};
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    std::size_t comma = raw.find(',', pos);
+    if (comma == std::string::npos) comma = raw.size();
+    const std::string item = trim(raw.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (item.empty()) {
+      return fail("empty list entry");
+    }
+    std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return fail("entry \"" + item + "\" has no '='");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string val = trim(item.substr(eq + 1));
+
+    auto prob = [&](const char* name, std::uint32_t* out,
+                    int idx) -> std::optional<std::string> {
+      if (seen[idx]) return "duplicate key \"" + std::string(name) + "\"";
+      seen[idx] = true;
+      std::optional<std::uint32_t> p = parse_prob_ppm(val);
+      if (!p.has_value()) {
+        return std::string(name) + "=\"" + val +
+               "\" is not a probability in [0, 1] with <= 6 decimals";
+      }
+      *out = *p;
+      return std::nullopt;
+    };
+    auto count = [&](const char* name, sim::Instr* out,
+                     int idx) -> std::optional<std::string> {
+      if (seen[idx]) return "duplicate key \"" + std::string(name) + "\"";
+      seen[idx] = true;
+      std::optional<std::uint64_t> v = parse_u64(val);
+      if (!v.has_value()) {
+        return std::string(name) + "=\"" + val + "\" is not a non-negative integer";
+      }
+      *out = *v;
+      return std::nullopt;
+    };
+
+    std::optional<std::string> why;
+    if (key == "drop") {
+      why = prob("drop", &cfg.drop_ppm, 0);
+    } else if (key == "dup") {
+      why = prob("dup", &cfg.dup_ppm, 1);
+    } else if (key == "delay") {
+      why = prob("delay", &cfg.delay_ppm, 2);
+    } else if (key == "blackout") {
+      why = prob("blackout", &cfg.blackout_ppm, 3);
+    } else if (key == "delay_max") {
+      why = count("delay_max", &cfg.delay_max, 4);
+    } else if (key == "blackout_window") {
+      why = count("blackout_window", &cfg.blackout_window, 5);
+    } else if (key == "rto") {
+      why = count("rto", &cfg.rto, 6);
+    } else if (key == "rto_max") {
+      why = count("rto_max", &cfg.rto_max, 7);
+    } else if (key == "seed") {
+      if (seen[8]) {
+        why = "duplicate key \"seed\"";
+      } else {
+        seen[8] = true;
+        std::optional<std::uint64_t> v = parse_u64(val);
+        if (!v.has_value()) {
+          why = "seed=\"" + val + "\" is not a non-negative integer";
+        } else {
+          cfg.seed = *v;
+        }
+      }
+    } else {
+      why = "unknown key \"" + key + "\"";
+    }
+    if (why.has_value()) return fail(*why);
+    if (pos > raw.size()) break;
+  }
+
+  std::string verr;
+  if (!validate_fault_config(cfg, &verr)) return fail(verr);
+  return cfg;
+}
+
+std::string to_string(const FaultConfig& cfg) {
+  if (!cfg.enabled) return "off";
+  auto prob = [](std::uint32_t ppm) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%06u", ppm / kPpmOne, ppm % kPpmOne);
+    std::string s = buf;
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+    return s;
+  };
+  std::string out;
+  out += "drop=" + prob(cfg.drop_ppm);
+  out += ",dup=" + prob(cfg.dup_ppm);
+  out += ",delay=" + prob(cfg.delay_ppm);
+  out += ",delay_max=" + std::to_string(cfg.delay_max);
+  out += ",blackout=" + prob(cfg.blackout_ppm);
+  out += ",blackout_window=" + std::to_string(cfg.blackout_window);
+  out += ",rto=" + std::to_string(cfg.rto);
+  out += ",rto_max=" + std::to_string(cfg.rto_max);
+  out += ",seed=" + std::to_string(cfg.seed);
+  return out;
+}
+
+}  // namespace abcl::net

@@ -33,7 +33,7 @@ void Network::Stats::merge(const Stats& o) {
 
 Network::Network(Topology topology, const sim::CostModel* cm,
                  std::function<void(NodeId)> on_deliverable, bool pooling,
-                 util::QueueKind queue, FlushKind flush)
+                 util::QueueKind queue, FlushKind flush, FaultConfig faults)
     : topology_(topology),
       cm_(cm),
       on_deliverable_(std::move(on_deliverable)),
@@ -55,6 +55,13 @@ Network::Network(Topology topology, const sim::CostModel* cm,
         static_cast<std::size_t>(topology_.num_nodes()) *
             static_cast<std::size_t>(topology_.num_nodes()),
         0);
+  }
+  if (faults.enabled) {
+    fault_plan_ = std::make_unique<FaultPlan>(faults, min_packet_latency());
+    if (use_matrix_) {
+      link_seq_matrix_.assign(channel_matrix_.size(), 0);
+    }
+    dst_fault_.resize(static_cast<std::size_t>(topology_.num_nodes()));
   }
 }
 
@@ -80,6 +87,18 @@ sim::Instr& Network::channel_floor(NodeId src, NodeId dst) {
                        << 32) |
                       static_cast<std::uint32_t>(dst);
   return channel_map_[key];
+}
+
+std::uint64_t& Network::link_seq(NodeId src, NodeId dst) {
+  if (use_matrix_) {
+    return link_seq_matrix_[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(topology_.num_nodes()) +
+                            static_cast<std::size_t>(dst)];
+  }
+  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                       << 32) |
+                      static_cast<std::uint32_t>(dst);
+  return link_seq_map_[key];
 }
 
 sim::Instr Network::min_packet_latency() const {
@@ -116,15 +135,27 @@ void Network::commit(Packet&& p, AmCategory category) {
   p.arrive_time = arrive;
   p.seq = src_seq_[static_cast<std::size_t>(p.src)]++;
 
+  // Logical (sender-intent) accounting: one packet per send regardless of
+  // how many physical attempts/copies the fault layer generates below —
+  // fault overhead is reported separately in FaultStats.
   stats_.packets += 1;
   stats_.payload_words += p.nwords;
   stats_.wire_words += static_cast<std::uint64_t>(p.wire_words());
   stats_.per_category[static_cast<int>(category)] += 1;
   stats_.wire_latency_instr.add(static_cast<double>(arrive - p.send_time));
 
+  if (fault_plan_ != nullptr) {
+    commit_faulty(p);
+    return;
+  }
+  enqueue_copy(p, arrive);
+}
+
+void Network::enqueue_copy(const Packet& p, sim::Instr arrive) {
   NodeId dst = p.dst;
   Packet* slot = pool_.acquire(home_mag_);
   *slot = p;
+  slot->arrive_time = arrive;
   queues_[static_cast<std::size_t>(dst)].push(
       QueuedPacket{arrive, p.src, p.seq, slot});
   in_flight_.fetch_add(1, std::memory_order_relaxed);
@@ -142,6 +173,73 @@ void Network::commit(Packet&& p, AmCategory category) {
     return;
   }
   if (on_deliverable_) on_deliverable_(dst);
+}
+
+// Resolves the stop-and-wait retry protocol for one committed packet
+// analytically (see net/fault.hpp): attempt k transmits at send_time + the
+// accumulated backoff; each attempt is lost to the drop hash or a link
+// blackout, or else enqueues a real delivery copy (plus a duplicate copy
+// when that hash fires). A lost virtual ack keeps the loop going — a
+// spurious retransmit the receiver's dedup window will suppress. Every
+// copy's arrival is >= send_time + min_packet_latency() (the effective
+// wire below already clamps there), so the PDES lookahead stays valid, and
+// copies get strictly increasing arrivals so the (arrive, src, seq)
+// delivery order stays a strict total order.
+void Network::commit_faulty(Packet& p) {
+  const FaultPlan& plan = *fault_plan_;
+  const FaultConfig& fc = plan.config();
+  FaultStats& fs = fault_commit_;
+
+  const std::uint64_t lseq = link_seq(p.src, p.dst)++;
+  p.link_seq = lseq;
+  const sim::Instr base_arrive = p.arrive_time;
+  // Effective wire time including the per-channel FIFO clamp the caller
+  // already applied; >= min_packet_latency() by construction.
+  const sim::Instr eff_wire = base_arrive - p.send_time;
+
+  sim::Instr t = p.send_time;   // transmit instant of the current attempt
+  sim::Instr last_arrive = 0;   // strictly-increasing de-tie clamp
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool forced = attempt + 1 == FaultPlan::kMaxAttempts;
+    fs.attempts += 1;
+    bool lost = false;
+    if (!forced) {
+      if (plan.drop(p.src, p.dst, lseq, attempt)) {
+        fs.drops += 1;
+        lost = true;
+      } else if (fc.blackout_ppm != 0 &&
+                 plan.blackout(p.src, p.dst, t / fc.blackout_window)) {
+        fs.blackout_drops += 1;
+        lost = true;
+      }
+    }
+    if (!lost) {
+      sim::Instr extra = plan.extra_delay(p.src, p.dst, lseq, attempt);
+      if (extra != 0) fs.delays += 1;
+      sim::Instr a = t + eff_wire + extra;
+      if (a <= last_arrive) a = last_arrive + 1;
+      last_arrive = a;
+      p.retries = static_cast<std::uint16_t>(attempt);
+      fs.copies_enqueued += 1;
+      fs.retry_delay_instr.add(a - base_arrive);
+      enqueue_copy(p, a);
+      if (plan.duplicate(p.src, p.dst, lseq, attempt)) {
+        sim::Instr d = a + 1;
+        last_arrive = d;
+        fs.duplicates += 1;
+        fs.copies_enqueued += 1;
+        fs.retry_delay_instr.add(d - base_arrive);
+        enqueue_copy(p, d);
+      }
+      if (forced) {
+        fs.forced_deliveries += 1;
+        return;
+      }
+      if (!plan.ack_lost(p.src, p.dst, lseq, attempt)) return;  // acked: done
+      fs.spurious_retransmits += 1;
+    }
+    t += plan.backoff(attempt);
+  }
 }
 
 void Network::Outbox::sort_canonical() {
@@ -276,7 +374,7 @@ void Network::flush_merge(Outbox* const* boxes, std::size_t nboxes) {
   }
 }
 
-bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
+bool Network::poll(NodeId dst, sim::Instr now, Packet& out, bool* was_dup) {
   auto& q = queues_[static_cast<std::size_t>(dst)];
   if (q.empty() || q.top().arrive > now) return false;
   Packet* slot = q.top().slot;
@@ -285,7 +383,30 @@ bool Network::poll(NodeId dst, sim::Instr now, Packet& out) {
   pool_.release(m != nullptr ? *m : home_mag_, slot);
   q.pop();
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  if (was_dup != nullptr) *was_dup = false;
+  if (fault_plan_ != nullptr) {
+    // Receiver-side dedup: only the first copy of each (src, link_seq) is
+    // dispatched; retransmits and network duplicates are reported back so
+    // the caller charges the handler cost and discards. This state is owned
+    // by the worker polling `dst` — no cross-thread writes.
+    DstFaultState& st = dst_fault_[static_cast<std::size_t>(dst)];
+    if (st.windows[out.src].accept(out.link_seq)) {
+      st.delivered += 1;
+    } else {
+      st.dup_suppressed += 1;
+      if (was_dup != nullptr) *was_dup = true;
+    }
+  }
   return true;
+}
+
+FaultStats Network::fault_stats() const {
+  FaultStats total = fault_commit_;
+  for (const DstFaultState& st : dst_fault_) {
+    total.delivered += st.delivered;
+    total.dup_suppressed += st.dup_suppressed;
+  }
+  return total;
 }
 
 sim::Instr Network::next_arrival(NodeId dst) const {

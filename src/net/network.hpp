@@ -48,10 +48,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "net/active_message.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "net/topology.hpp"
@@ -113,10 +115,13 @@ class Network {
   // machine driver uses it to re-key the node in its ready heap. `pooling`
   // selects recycled packet slots (default) vs per-send heap allocation
   // (the bench_alloc ablation baseline); results are identical either way.
+  // `faults` installs a deterministic FaultPlan (see net/fault.hpp); the
+  // default disabled config leaves every commit/poll path byte-identical to
+  // a fault-free network.
   Network(Topology topology, const sim::CostModel* cm,
           std::function<void(NodeId)> on_deliverable = {}, bool pooling = true,
           util::QueueKind queue = util::QueueKind::kBucket,
-          FlushKind flush = FlushKind::kMerge);
+          FlushKind flush = FlushKind::kMerge, FaultConfig faults = {});
   ~Network();
 
   FlushKind flush_kind() const { return flush_; }
@@ -147,8 +152,11 @@ class Network {
 
   // Pops the next packet for `dst` with arrive_time <= now, or nullptr-like
   // false if none. Out-of-order across channels never happens because the
-  // per-destination heap orders by arrival.
-  bool poll(NodeId dst, sim::Instr now, Packet& out);
+  // per-destination heap orders by arrival. With a fault plan installed,
+  // `*was_dup` (when non-null) reports whether the popped copy is a
+  // duplicate the receiver must discard — the caller still pays its handler
+  // cost but must not dispatch it. Always false when faults are off.
+  bool poll(NodeId dst, sim::Instr now, Packet& out, bool* was_dup = nullptr);
 
   // Earliest pending arrival for `dst`, or kInstrInf.
   sim::Instr next_arrival(NodeId dst) const;
@@ -179,6 +187,15 @@ class Network {
   // Coordinator-side magazine (commit acquires, serial-driver releases).
   const PacketPool::Magazine& home_magazine() const { return home_mag_; }
 
+  // ----- fault injection ---------------------------------------------------
+  bool faults_enabled() const { return fault_plan_ != nullptr; }
+  // The installed plan; only valid when faults_enabled().
+  const FaultPlan& fault_plan() const { return *fault_plan_; }
+  // Aggregated fault accounting: the commit-side block plus every
+  // destination's receive-side counters. Call from a single thread with no
+  // run in progress (the same contract as stats()).
+  FaultStats fault_stats() const;
+
  private:
   // Destination-queue entry: the simulated delivery key plus the pooled
   // slot holding the payload. Moving 24 bytes instead of sizeof(Packet)
@@ -204,7 +221,14 @@ class Network {
   using DstQueue = util::BucketQueue<QueuedPacket, PacketKey, PacketOrder>;
 
   sim::Instr& channel_floor(NodeId src, NodeId dst);
+  std::uint64_t& link_seq(NodeId src, NodeId dst);
   void commit(Packet&& p, AmCategory category);
+  // Plays out the whole retry protocol for one committed packet (see
+  // net/fault.hpp); enqueues every surviving delivery copy.
+  void commit_faulty(Packet& p);
+  // Common tail of commit: acquire a slot, enqueue toward p.dst, bump
+  // in-flight, and record/fire the deliverability wakeup.
+  void enqueue_copy(const Packet& p, sim::Instr arrive);
   void flush_merge(Outbox* const* boxes, std::size_t nboxes);
   void flush_sort(Outbox* const* boxes, std::size_t nboxes);
 
@@ -232,6 +256,23 @@ class Network {
   PacketPool pool_;
   PacketPool::Magazine home_mag_;
   std::vector<PacketPool::Magazine*> poll_mags_;  // per-dst; nullptr = home
+
+  // ----- fault-injection state (all empty/null when faults are off) -------
+  // Receive side of one destination: dedup windows keyed by source plus the
+  // delivery counters. Touched only by the worker that polls `dst`, so the
+  // parallel driver needs no extra synchronization.
+  struct DstFaultState {
+    std::unordered_map<std::int32_t, DedupWindow> windows;
+    std::uint64_t delivered = 0;
+    std::uint64_t dup_suppressed = 0;
+  };
+  std::unique_ptr<FaultPlan> fault_plan_;
+  // Per-(src,dst) channel sequence counters; same matrix/map split as the
+  // channel floors. Advanced on the commit path only.
+  std::vector<std::uint64_t> link_seq_matrix_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_seq_map_;
+  FaultStats fault_commit_;           // commit-side counters
+  std::vector<DstFaultState> dst_fault_;
 };
 
 }  // namespace abcl::net

@@ -18,6 +18,8 @@ const char* payload_name(sim::TraceEv e) {
     case sim::TraceEv::kBlock: return "reason";
     case sim::TraceEv::kResume: return "class";
     case sim::TraceEv::kCreate: return "class";
+    case sim::TraceEv::kFaultDup: return "handler";
+    case sim::TraceEv::kFaultRetry: return "attempt";
   }
   return "payload";
 }

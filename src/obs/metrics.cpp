@@ -126,6 +126,41 @@ std::string metrics_json(const World& world, const RunReport* rep) {
   w.end_object();
   w.key("wire_latency_instr");
   running_stat_json(w, ns.wire_latency_instr);
+  // The faults block exists only when a FaultPlan is installed: faults-off
+  // snapshots must stay byte-identical to the committed baselines, and the
+  // regression gate additionally lists "faults" in its default ignored keys
+  // so a fault-run candidate still compares against a faults-off baseline.
+  if (world.network().faults_enabled()) {
+    const net::FaultConfig& fc = world.network().fault_plan().config();
+    const net::FaultStats fs = world.network().fault_stats();
+    w.key("faults");
+    w.begin_object();
+    w.key("config");
+    w.begin_object();
+    w.field("drop_ppm", static_cast<std::uint64_t>(fc.drop_ppm));
+    w.field("dup_ppm", static_cast<std::uint64_t>(fc.dup_ppm));
+    w.field("delay_ppm", static_cast<std::uint64_t>(fc.delay_ppm));
+    w.field("delay_max", fc.delay_max);
+    w.field("blackout_ppm", static_cast<std::uint64_t>(fc.blackout_ppm));
+    w.field("blackout_window", fc.blackout_window);
+    w.field("rto", world.network().fault_plan().rto());
+    w.field("rto_max", fc.rto_max);
+    w.field("seed", fc.seed);
+    w.end_object();
+    w.field("attempts", fs.attempts);
+    w.field("drops", fs.drops);
+    w.field("blackout_drops", fs.blackout_drops);
+    w.field("duplicates", fs.duplicates);
+    w.field("delays", fs.delays);
+    w.field("spurious_retransmits", fs.spurious_retransmits);
+    w.field("forced_deliveries", fs.forced_deliveries);
+    w.field("copies_enqueued", fs.copies_enqueued);
+    w.field("delivered", fs.delivered);
+    w.field("dup_suppressed", fs.dup_suppressed);
+    w.key("retry_delay_instr");
+    histogram_json(w, fs.retry_delay_instr);
+    w.end_object();
+  }
   w.end_object();
 
   core::NodeStats totals = world.total_stats();

@@ -7,9 +7,12 @@
 namespace abcl::obs {
 
 // Host-dependent keys: wall time, the recorded core count, and the flag
-// derived from it. Never simulated quantities.
-const std::vector<std::string> kDefaultIgnoredKeys = {"wall_ms", "host_cores",
-                                                      "parallel_meaningful"};
+// derived from it — never simulated quantities. "faults" is the whole
+// fault-injection block: it only exists in fault-enabled runs, and ignoring
+// it both ways lets a fault-run candidate compare against the committed
+// faults-off baselines (and vice versa) without structural drift.
+const std::vector<std::string> kDefaultIgnoredKeys = {
+    "wall_ms", "host_cores", "parallel_meaningful", "faults"};
 
 namespace {
 

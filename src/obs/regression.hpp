@@ -32,9 +32,10 @@ struct CompareResult {
   std::string to_string() const;  // one drift per line; empty when ok
 };
 
-// Host-dependent fields excluded from bench-trajectory comparison.
+// Fields excluded from bench-trajectory comparison: host-dependent ones
+// plus the fault-injection counter block (present only in fault runs).
 extern const std::vector<std::string>
-    kDefaultIgnoredKeys;  // wall_ms, host_cores, parallel_meaningful
+    kDefaultIgnoredKeys;  // wall_ms, host_cores, parallel_meaningful, faults
 
 struct CompareOptions {
   double tol_pct = 0.5;

@@ -29,14 +29,19 @@ core::NodeId Placement::choose(core::NodeRuntime& rt) {
       return t;
     }
     case PlacementKind::kLeastLoaded: {
+      // Graceful degradation: only neighbours with a *fresh* gossiped load
+      // compete (known_load is nullopt for silent or stale peers). The old
+      // code read unknown as load 0 and piled work onto exactly the nodes
+      // nobody had heard from; now, when gossip goes quiet, the policy
+      // naturally collapses to local creation — the paper's safe default.
       auto nbs = rt.network().topology().neighbors(rt.node_id());
       core::NodeId best = rt.node_id();
       std::uint32_t best_load = rt.sched_queue_len();
       for (core::NodeId nb : nbs) {
-        std::uint32_t load = rt.known_load(nb);
-        if (load < best_load) {
+        std::optional<std::uint32_t> load = rt.known_load(nb);
+        if (load.has_value() && *load < best_load) {
           best = nb;
-          best_load = load;
+          best_load = *load;
         }
       }
       return best;

@@ -6,26 +6,52 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "core/types.hpp"
 
 namespace abcl::remote {
 
-// Last load figure heard from each peer via the load-gossip service.
+// Last load figure heard from each peer via the load-gossip service, with a
+// freshness stamp (the receiver's quantum counter at note() time).
+//
+// Two historical bugs live here, both fixed by making "unknown" explicit:
+//  * get() used to return 0 for never-heard-from peers, so kLeastLoaded
+//    treated silent or unreachable nodes as idle and piled work onto them;
+//  * entries never aged, so a peer whose gossip packets stopped (blackout,
+//    drops) kept its last figure forever. Callers now pass the current
+//    quantum count and a max age; anything unknown or stale reads as
+//    nullopt and the placement policy degrades gracefully to known peers
+//    (or self when nothing trustworthy is left).
 class LoadMap {
  public:
-  void note(core::NodeId peer, std::uint32_t load) { loads_[peer] = load; }
-
-  std::uint32_t get(core::NodeId peer) const {
-    auto it = loads_.find(peer);
-    return it == loads_.end() ? 0 : it->second;
+  void note(core::NodeId peer, std::uint32_t load, std::uint64_t now_quanta) {
+    loads_[peer] = Entry{load, now_quanta};
   }
 
+  // The peer's load if it has been heard from within `max_age` quanta of
+  // `now_quanta` (max_age 0 = no aging), nullopt otherwise.
+  std::optional<std::uint32_t> get(core::NodeId peer, std::uint64_t now_quanta,
+                                   std::uint64_t max_age) const {
+    auto it = loads_.find(peer);
+    if (it == loads_.end()) return std::nullopt;
+    if (max_age != 0 && now_quanta - it->second.stamp > max_age) {
+      return std::nullopt;
+    }
+    return it->second.load;
+  }
+
+  // Peers ever heard from (stale entries included — staleness is a
+  // read-side policy, the figures themselves are kept).
   std::size_t known_peers() const { return loads_.size(); }
 
  private:
-  std::unordered_map<core::NodeId, std::uint32_t> loads_;
+  struct Entry {
+    std::uint32_t load = 0;
+    std::uint64_t stamp = 0;  // receiver quanta_run at note() time
+  };
+  std::unordered_map<core::NodeId, Entry> loads_;
 };
 
 }  // namespace abcl::remote

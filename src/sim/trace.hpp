@@ -30,6 +30,8 @@ enum class TraceEv : std::uint8_t {
   kBlock,        // a method blocked                (payload: block-reason code)
   kResume,       // a blocked context resumed       (payload: class id)
   kCreate,       // an object was created here      (payload: class id)
+  kFaultDup,     // duplicate copy suppressed       (payload: handler id)
+  kFaultRetry,   // retransmitted packet dispatched (payload: attempt index)
 };
 
 inline const char* to_string(TraceEv e) {
@@ -40,6 +42,8 @@ inline const char* to_string(TraceEv e) {
     case TraceEv::kBlock: return "block";
     case TraceEv::kResume: return "resume";
     case TraceEv::kCreate: return "create";
+    case TraceEv::kFaultDup: return "fault-dup";
+    case TraceEv::kFaultRetry: return "fault-retry";
   }
   return "?";
 }

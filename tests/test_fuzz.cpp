@@ -220,6 +220,78 @@ TEST(Corpus, DifferentialOracleHoldsForEverySeed) {
   }
 }
 
+// Seed-derived fault overlay for the fault-corpus gate: every corpus seed
+// runs under a distinct deterministic plan, sweeping drop-only, dup/delay,
+// blackout and combined regimes (seed % 5 == 0 gives an enabled-but-benign
+// plan, which must behave exactly like a perfect network).
+net::FaultConfig corpus_faults(std::uint64_t seed) {
+  net::FaultConfig fc;
+  fc.enabled = true;
+  fc.seed = seed * 0x9e3779b9u + 1;
+  fc.drop_ppm = static_cast<std::uint32_t>((seed % 5) * 60'000);         // 0-24%
+  fc.dup_ppm = static_cast<std::uint32_t>(((seed / 5) % 4) * 40'000);    // 0-12%
+  fc.delay_ppm = static_cast<std::uint32_t>(((seed / 3) % 4) * 80'000);  // 0-24%
+  fc.blackout_ppm = seed % 7 == 0 ? 30'000u : 0u;
+  fc.blackout_window = 512;
+  return fc;
+}
+
+// The fault-corpus gate: under every seeded fault plan the program must
+// still be bit-identical across drivers (fault decisions are simulated
+// quantities, so serial and 1/2/8-thread runs share one fault schedule) and
+// the delivery-hardening layer must achieve exactly-once dispatch — both
+// enforced inside check_spec once spec.faults is set.
+TEST(FaultCorpus, OracleHoldsUnderSeededFaultPlans) {
+  std::uint64_t total_drops = 0, total_dups = 0, total_spurious = 0;
+  for (std::uint64_t seed : kCorpus) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::Spec spec = fuzz::generate(seed);
+    spec.faults = corpus_faults(seed);
+    fuzz::OracleResult r = fuzz::check_spec(spec);
+    if (!r.ok) {
+      write_repro(spec, "repro_fault_seed_" + std::to_string(seed), r.failure);
+      fuzz::Spec small = fuzz::shrink(
+          spec, [](const fuzz::Spec& c) { return !fuzz::check_spec(c).ok; },
+          nullptr, 200);
+      write_repro(small, "repro_fault_seed_" + std::to_string(seed) + "_min",
+                  fuzz::check_spec(small).failure);
+    }
+    ASSERT_TRUE(r.ok) << r.failure << "\nspec:\n" << spec.to_json();
+    total_drops += r.serial.fault_drops;
+    total_dups += r.serial.fault_duplicates;
+    total_spurious += r.serial.fault_forced + r.serial.fault_dup_suppressed;
+  }
+  // The sweep must actually have exercised the machinery, not vacuously
+  // passed on single-node programs with no remote traffic.
+  EXPECT_GT(total_drops, 0u);
+  EXPECT_GT(total_dups, 0u);
+  EXPECT_GT(total_spurious, 0u);
+}
+
+TEST(SpecJson, FaultsBlockRoundTripsAndStaysOptional) {
+  std::string err;
+  fuzz::Spec s = fuzz::generate(3);
+  s.faults = corpus_faults(3);
+  std::optional<fuzz::Spec> back = fuzz::Spec::from_json(s.to_json(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back, s);
+
+  // Fault-free specs serialize without the block (old binaries keep reading
+  // new repro files) and old fault-free files keep loading here.
+  fuzz::Spec plain = fuzz::generate(3);
+  EXPECT_EQ(plain.to_json().find("faults"), std::string::npos);
+  std::optional<fuzz::Spec> round = fuzz::Spec::from_json(plain.to_json(), &err);
+  ASSERT_TRUE(round.has_value()) << err;
+  EXPECT_FALSE(round->faults.has_value());
+  EXPECT_EQ(*round, plain);
+
+  // An invalid embedded plan is rejected by validate(), not run.
+  s.faults->drop_ppm = net::kPpmOne;
+  std::string verr;
+  EXPECT_FALSE(s.validate(&verr));
+  EXPECT_NE(verr.find("livelock"), std::string::npos) << verr;
+}
+
 TEST(Shrinker, ReducesSyntheticDivergenceToTenActionsOrFewer) {
   // Synthetic "bug": any program that both selects on a token and performs
   // a remote creation. Mimics a failure tied to one op interaction, which

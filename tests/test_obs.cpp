@@ -216,6 +216,54 @@ TEST(MetricsSnapshot, IsValidJsonWithExpectedShape) {
   EXPECT_EQ(s.metrics.find("wall"), std::string::npos);
 }
 
+TEST(MetricsSnapshot, FaultsBlockOnlyWhenEnabled) {
+  // Faults off: no "faults" key anywhere — the snapshot must stay
+  // byte-compatible with the committed pre-fault baselines.
+  Snapshots clean = run_nqueens_snapshots(-1, 8, 6);
+  EXPECT_EQ(clean.metrics.find("faults"), std::string::npos);
+
+  // Faults on: the network object gains a self-describing faults block
+  // whose counters satisfy the exactly-once conservation chain.
+  core::Program prog;
+  auto np = apps::register_nqueens(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.nodes = 8;
+  cfg.faults.enabled = true;
+  cfg.faults.drop_ppm = 100'000;
+  cfg.faults.dup_ppm = 50'000;
+  cfg.faults.seed = 5;
+  World world(prog, cfg);
+  auto r = apps::run_nqueens(world, np, apps::NQueensParams::paper_calibrated(6));
+  std::string err;
+  auto v = obs::parse_json(obs::metrics_json(world, &r.rep), &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  const obs::JsonValue* f = v->find("network")->find("faults");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->find("config")->find("drop_ppm")->integer, 100'000);
+  EXPECT_EQ(f->find("config")->find("seed")->integer, 5);
+  EXPECT_GT(f->find("attempts")->integer, 0);
+  EXPECT_GT(f->find("drops")->integer, 0);
+  EXPECT_EQ(f->find("delivered")->integer,
+            v->find("network")->find("packets")->integer);
+  EXPECT_EQ(f->find("delivered")->integer + f->find("dup_suppressed")->integer,
+            f->find("copies_enqueued")->integer);
+  ASSERT_NE(f->find("retry_delay_instr"), nullptr);
+}
+
+TEST(Regression, FaultsBlockIgnoredAgainstFaultsOffBaseline) {
+  // "faults" sits in kDefaultIgnoredKeys so a fault-run candidate still
+  // gates against the committed faults-off baselines — the comparator must
+  // skip the whole block in either direction.
+  auto b = parsed(R"({"network": {"packets": 10}})");
+  auto c = parsed(R"({"network": {"packets": 10, "faults": {"drops": 3}}})");
+  EXPECT_TRUE(obs::compare_json(b, c, 0.0).ok());
+  EXPECT_TRUE(obs::compare_json(c, b, 0.0).ok());
+  // ...but only that block: other additions still flag.
+  auto d = parsed(R"({"network": {"packets": 10, "oops": 1}})");
+  EXPECT_FALSE(obs::compare_json(b, d, 0.0).ok());
+}
+
 TEST(MetricsSnapshot, V2CarriesAllocatorCounters) {
   Snapshots s = run_nqueens_snapshots(-1, 8, 6);
   auto v = obs::parse_json(s.metrics);

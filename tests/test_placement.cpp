@@ -110,6 +110,58 @@ TEST(Placement, LeastLoadedUsesGossipedLoads) {
   }
 }
 
+TEST(LoadMap, UnknownPeerIsNulloptNotZero) {
+  // Regression: get() used to return 0 for peers never heard from, which
+  // made kLeastLoaded read silence as idleness and pile work onto exactly
+  // the nodes whose gossip was lost.
+  remote::LoadMap m;
+  EXPECT_EQ(m.get(3, /*now_quanta=*/100, /*max_age=*/8), std::nullopt);
+  m.note(3, 7, /*now_quanta=*/100);
+  EXPECT_EQ(m.get(3, 100, 8), std::optional<std::uint32_t>(7));
+  EXPECT_EQ(m.get(4, 100, 8), std::nullopt);  // still unknown
+}
+
+TEST(LoadMap, EntriesGoStaleAfterMaxAge) {
+  // Regression: entries never aged, so a peer whose gossip stopped (drops,
+  // blackout) kept its last figure forever.
+  remote::LoadMap m;
+  m.note(2, 5, /*now_quanta=*/10);
+  EXPECT_EQ(m.get(2, 18, /*max_age=*/8), std::optional<std::uint32_t>(5));
+  EXPECT_EQ(m.get(2, 19, 8), std::nullopt);  // one quantum past the age limit
+  EXPECT_EQ(m.get(2, 19, 0), std::optional<std::uint32_t>(5));  // 0 = no aging
+  m.note(2, 6, 30);  // fresh gossip revives the peer
+  EXPECT_EQ(m.get(2, 31, 8), std::optional<std::uint32_t>(6));
+  EXPECT_EQ(m.known_peers(), 1u);
+}
+
+TEST(Placement, LeastLoadedFallsBackToSelfWhenGossipSilent) {
+  // Regression for the unknown-peer bug at the policy level: a busy node
+  // whose neighbours have never gossiped must keep work local rather than
+  // dumping it on a peer it knows nothing about.
+  Fixture fx;
+  WorldConfig cfg;
+  cfg.nodes = 16;
+  cfg.node.max_call_depth = 0;  // no direct calls: boot sends really queue
+  World world(fx.prog, cfg);
+  // Boot enqueues real work on node 5, so self reports a nonzero load —
+  // the exact situation where the old code preferred a silent neighbour.
+  world.boot(5, [&](Ctx& ctx) {
+    MailAddr c = ctx.create_local(*fx.counter.cls, {});
+    for (int i = 0; i < 4; ++i) ctx.send_past(c, fx.counter.inc, {});
+  });
+  auto& rt = world.node(5);
+  ASSERT_GT(rt.sched_queue_len(), 0u);
+  for (auto nb : world.network().topology().neighbors(5)) {
+    EXPECT_EQ(rt.known_load(nb), std::nullopt);
+  }
+  remote::Placement p(remote::PlacementKind::kLeastLoaded);
+  EXPECT_EQ(p.choose(rt), 5);
+  // A single fresh gossiped figure re-enables spreading.
+  auto nbs = world.network().topology().neighbors(5);
+  rt.note_peer_load(nbs[0], 0);
+  EXPECT_EQ(p.choose(rt), nbs[0]);
+}
+
 TEST(Placement, GossipServiceDistributesLoads) {
   Fixture fx;
   WorldConfig cfg;
