@@ -22,6 +22,13 @@
 // diffed byte-for-byte here, so any cross-driver stats divergence fails the
 // bench just like a solution-count divergence. CI feeds both files to
 // bench_regression_check against the committed baselines.
+//
+// A second workload — a hot-spot world where every migratable actor is born
+// on node 0 and the work-shedding balancer must spread them — runs serial
+// and at 8 threads with migration enabled. Its six migration counters and
+// final object placement are pure simulated quantities, so they must match
+// across drivers (folded into the same exit gate) and are spliced into the
+// metrics snapshot as "migration_hotspot" for the regression baseline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -32,8 +39,10 @@
 
 #include "apps/nqueens.hpp"
 #include "bench_common.hpp"
+#include "core/object.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "remote/migration.hpp"
 
 namespace {
 
@@ -70,6 +79,100 @@ Sample run_once(int nodes, int host_threads, const apps::NQueensParams& p,
   s.sim_time = r.sim_time;
   s.quanta = r.rep.quanta;
   if (metrics_out != nullptr) *metrics_out = obs::metrics_json(world, &r.rep);
+  return s;
+}
+
+// ------------------------------------------ hot-spot migration workload -----
+
+// All actors are born on node 0 of an 8-node world and churn through
+// self-chains; the shedding balancer must export objects off the hot node.
+// Every field below is a simulated quantity — identical across drivers by
+// the determinism contract, which is exactly what main() gates on.
+struct ChurnState {
+  std::uint64_t steps = 0;
+};
+
+struct MigSample {
+  double wall_ms = 0.0;
+  std::uint64_t total_steps = 0;
+  int hot_node_objects = 0;   // actors still homed on node 0 after the run
+  int nodes_with_objects = 0;
+  core::NodeStats totals{};   // world-summed; migration counters consumed
+};
+
+constexpr int kMigNodes = 8;
+constexpr int kMigActors = 96;
+constexpr Word kMigFuel = 120;
+
+MigSample run_hotspot(int host_threads) {
+  core::Program prog;
+  PatternId kick = prog.patterns().intern("churn.kick", 1);
+  ClassDef<ChurnState> def(prog, "Churn");
+  def.migratable();
+  struct KickFrame : Frame {
+    Word fuel = 0;
+    PatternId pat = 0;
+    static void init(KickFrame& f, const Msg& m) {
+      f.fuel = m.at(0);
+      f.pat = m.pattern;
+    }
+    static Status run(Ctx& ctx, ChurnState& self, KickFrame& f) {
+      ABCL_BEGIN(f);
+      self.steps += 1;
+      ctx.charge(200);
+      if (f.fuel > 0) {
+        Word arg = f.fuel - 1;
+        ctx.send_past(ctx.self_addr(), f.pat, &arg, 1);
+      }
+      ABCL_END();
+    }
+  };
+  def.method<KickFrame>(kick);
+  prog.finalize();
+
+  WorldConfig cfg;
+  cfg.nodes = kMigNodes;
+  cfg.host_threads = host_threads;
+  remote::MigrationConfig mc;
+  mc.enabled = true;
+  mc.interval = 8;
+  mc.hysteresis = 2;
+  mc.max_batch = 4;
+  mc.min_queue = 6;
+  mc.seed = 5;
+  cfg.migration = mc;
+  World world(prog, cfg);
+
+  std::vector<MailAddr> actors;
+  world.boot(0, [&](Ctx& ctx) {
+    for (int i = 0; i < kMigActors; ++i) {
+      actors.push_back(ctx.create_local(def.info(), {}));
+    }
+  });
+  world.boot(0, [&](Ctx& ctx) {
+    for (const MailAddr& a : actors) ctx.send_past(a, kick, {kMigFuel});
+  });
+  auto t0 = std::chrono::steady_clock::now();
+  world.run();
+  auto t1 = std::chrono::steady_clock::now();
+
+  MigSample s;
+  s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::vector<int> per_node(kMigNodes, 0);
+  for (MailAddr a : actors) {
+    // Chase the forwarding chain (path compression bounds it, but a fixed
+    // hop cap keeps a regression from hanging the bench).
+    for (int hops = 0; hops < 8; ++hops) {
+      auto f = world.node(a.node).forward_target(a.ptr);
+      if (!f.has_value() || (f->node == a.node && f->ptr == a.ptr)) break;
+      a = *f;
+    }
+    per_node[static_cast<std::size_t>(a.node)] += 1;
+    s.total_steps += a.ptr->state_as<const ChurnState>()->steps;
+  }
+  s.hot_node_objects = per_node[0];
+  for (int n : per_node) s.nodes_with_objects += n > 0;
+  s.totals = world.total_stats();
   return s;
 }
 
@@ -136,6 +239,71 @@ int main(int argc, char** argv) {
     identical = false;
     std::printf("METRICS DIVERGENCE: serial and 8-thread snapshots differ!\n");
   }
+
+  // Hot-spot migration workload: serial vs 8 threads with the shedding
+  // balancer on. Placement, step totals, and all six migration counters are
+  // modeled quantities — any cross-driver difference is a determinism bug
+  // and fails the bench exactly like an N-queens divergence. The workload
+  // must also actually shed: a silently migration-free run would turn the
+  // counters (and the committed baseline) vacuous.
+  {
+    util::Table t({"Driver", "Wall (ms)", "Shed out", "Shed in",
+                   "Node-0 objects", "Nodes w/ objects"});
+    MigSample ms = run_hotspot(-1);
+    MigSample mp = run_hotspot(8);
+    for (const MigSample* s : {&ms, &mp}) {
+      t.add_row({s == &ms ? "serial" : "8 threads",
+                 util::Table::num(s->wall_ms, 1),
+                 util::Table::num(s->totals.migrations_out),
+                 util::Table::num(s->totals.migrations_in),
+                 util::Table::num(static_cast<std::uint64_t>(
+                     s->hot_node_objects)),
+                 util::Table::num(static_cast<std::uint64_t>(
+                     s->nodes_with_objects))});
+    }
+    t.print();
+    const std::uint64_t expected_steps =
+        static_cast<std::uint64_t>(kMigActors) * (kMigFuel + 1);
+    if (ms.total_steps != expected_steps || mp.total_steps != expected_steps ||
+        ms.hot_node_objects != mp.hot_node_objects ||
+        ms.nodes_with_objects != mp.nodes_with_objects ||
+        ms.totals.migrations_out != mp.totals.migrations_out ||
+        ms.totals.migrations_in != mp.totals.migrations_in ||
+        ms.totals.migration_mail != mp.totals.migration_mail ||
+        ms.totals.migration_forwards != mp.totals.migration_forwards ||
+        ms.totals.migration_updates != mp.totals.migration_updates ||
+        ms.totals.migration_holds != mp.totals.migration_holds) {
+      identical = false;
+      std::printf("MIGRATION DIVERGENCE: hot-spot runs differ across "
+                  "drivers (or lost steps)!\n");
+    }
+    if (ms.totals.migrations_out == 0 || ms.nodes_with_objects < 2) {
+      identical = false;
+      std::printf("MIGRATION GATE: hot-spot workload did not shed!\n");
+    }
+    // Splice the (deterministic) hot-spot counters into the serial metrics
+    // snapshot so bench_regression_check pins them. metrics_json output is
+    // one compact object + '\n'; insert before the closing brace.
+    char hot[512];
+    std::snprintf(
+        hot, sizeof hot,
+        ",\"migration_hotspot\":{\"nodes\":%d,\"actors\":%d,\"fuel\":%llu,"
+        "\"migrations_out\":%llu,\"migrations_in\":%llu,"
+        "\"migration_mail\":%llu,\"migration_forwards\":%llu,"
+        "\"migration_updates\":%llu,\"migration_holds\":%llu,"
+        "\"hot_node_final_objects\":%d,\"nodes_with_objects\":%d}",
+        kMigNodes, kMigActors, static_cast<unsigned long long>(kMigFuel),
+        static_cast<unsigned long long>(ms.totals.migrations_out),
+        static_cast<unsigned long long>(ms.totals.migrations_in),
+        static_cast<unsigned long long>(ms.totals.migration_mail),
+        static_cast<unsigned long long>(ms.totals.migration_forwards),
+        static_cast<unsigned long long>(ms.totals.migration_updates),
+        static_cast<unsigned long long>(ms.totals.migration_holds),
+        ms.hot_node_objects, ms.nodes_with_objects);
+    const std::size_t brace = metrics_serial.rfind('}');
+    if (brace != std::string::npos) metrics_serial.insert(brace, hot);
+  }
+
   const char* mpath = std::getenv("ABCLSIM_METRICS_JSON");
   if (mpath == nullptr || *mpath == '\0') mpath = "BENCH_host_parallel.metrics.json";
   if (obs::write_file(mpath, metrics_serial)) {

@@ -13,6 +13,10 @@
 // "drop=0.05,dup=0.01,seed=7"): the parsed FaultConfig is overlaid on every
 // spec before it runs, so the whole corpus can be swept under a fault plan
 // without regenerating repro files. "--faults off" strips the block instead.
+// --migration SPEC (grammar of ABCLSIM_MIGRATION, e.g.
+// "interval=32,min_queue=4,seed=9") overlays a live-migration block the same
+// way; "--migration off" strips it. The two overlays compose, so
+// `--sweep N --faults ... --migration ...` is the migration×faults regime.
 //
 // Exit status: 0 = all checks passed, 1 = oracle failure, 2 = usage/I/O
 // error. CI runs `--sweep` as the extended fuzz job; developers replay
@@ -28,6 +32,7 @@
 #include "fuzz/spec.hpp"
 #include "net/fault.hpp"
 #include "obs/json.hpp"
+#include "remote/migration.hpp"
 
 namespace {
 
@@ -39,7 +44,7 @@ int usage() {
                "       fuzz_repro --spec FILE\n"
                "       fuzz_repro --shrink FILE --out FILE\n"
                "       fuzz_repro --sweep N [--artifact-dir D]\n"
-               "       (any mode) --faults SPEC\n");
+               "       (any mode) --faults SPEC --migration SPEC\n");
   return 2;
 }
 
@@ -53,6 +58,23 @@ void overlay_faults(fuzz::Spec& s) {
   } else {
     s.faults.reset();  // "--faults off" replays a fault repro fault-free
   }
+}
+
+// Set by --migration; nullopt = leave each spec's own migration block alone.
+std::optional<remote::MigrationConfig> g_migration;
+
+void overlay_migration(fuzz::Spec& s) {
+  if (!g_migration.has_value()) return;
+  if (g_migration->enabled) {
+    s.migration = *g_migration;
+  } else {
+    s.migration.reset();  // "--migration off" replays migration-free
+  }
+}
+
+void overlay(fuzz::Spec& s) {
+  overlay_faults(s);
+  overlay_migration(s);
 }
 
 bool oracle_fails(const fuzz::Spec& s) { return !fuzz::check_spec(s).ok; }
@@ -119,6 +141,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--faults: %s\n", err.c_str());
         return 2;
       }
+    } else if (a == "--migration") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      std::string err;
+      g_migration = remote::parse_migration_spec(v, &err);
+      if (!g_migration.has_value()) {
+        std::fprintf(stderr, "--migration: %s\n", err.c_str());
+        return 2;
+      }
     } else {
       return usage();
     }
@@ -127,7 +158,7 @@ int main(int argc, char** argv) {
 
   if (mode == "--seed") {
     fuzz::Spec spec = fuzz::generate(std::strtoull(arg.c_str(), nullptr, 0));
-    overlay_faults(spec);
+    overlay(spec);
     if (!dump.empty() && !obs::write_file(dump, spec.to_json())) {
       std::fprintf(stderr, "cannot write %s\n", dump.c_str());
       return 2;
@@ -138,7 +169,7 @@ int main(int argc, char** argv) {
   if (mode == "--spec") {
     std::optional<fuzz::Spec> spec = load(arg);
     if (!spec.has_value()) return 2;
-    overlay_faults(*spec);
+    overlay(*spec);
     return check_and_report(*spec, arg);
   }
 
@@ -146,7 +177,7 @@ int main(int argc, char** argv) {
     if (out.empty()) return usage();
     std::optional<fuzz::Spec> spec = load(arg);
     if (!spec.has_value()) return 2;
-    overlay_faults(*spec);
+    overlay(*spec);
     if (!oracle_fails(*spec)) {
       std::fprintf(stderr, "%s passes the oracle; nothing to shrink\n",
                    arg.c_str());
@@ -169,7 +200,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (std::uint64_t seed = 1; seed <= n; ++seed) {
     fuzz::Spec spec = fuzz::generate(seed);
-    overlay_faults(spec);
+    overlay(spec);
     fuzz::OracleResult r = fuzz::check_spec(spec);
     if (r.ok) continue;
     ++failures;

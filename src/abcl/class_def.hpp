@@ -20,6 +20,7 @@
 #pragma once
 
 #include <string>
+#include <type_traits>
 
 #include "core/dispatch.hpp"
 #include "core/program.hpp"
@@ -91,6 +92,27 @@ class ClassDef {
     ABCL_CHECK_MSG(ws.find(p) == nullptr, "pattern already accepted at site");
     ws.accepts.push_back(core::WaitSite::Accept{
         p, &copy_trampoline<FrameT, CopyFn>, resume_pc});
+    return *this;
+  }
+
+  // Opts the class into live migration (remote/migration.hpp). The state
+  // box travels as raw words and is never destructed at the old home, so
+  // the compile-time contract is: trivially copyable, trivially
+  // destructible, and (by author discipline, not checkable here) no
+  // node-local resources — pointers to frames, boxes or peer objects'
+  // heaps — held in state or blocked frames across a wait site.
+  ClassDef& migratable() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "migratable state must be trivially copyable (it ships as "
+                  "raw words)");
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "migratable state must be trivially destructible (the old "
+                  "home never runs the destructor after shipping)");
+    cls_->migratable = true;
+    // The ClassDef ctor installs a destructor call unconditionally; a
+    // trivially-destructible T makes it a no-op, and dropping it keeps the
+    // shipped-away stale copy from being "destroyed" at node teardown.
+    cls_->destruct = nullptr;
     return *this;
   }
 

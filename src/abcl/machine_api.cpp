@@ -78,6 +78,11 @@ WorldConfig WorldConfig::from_env() {
       net::parse_fault_spec(std::getenv("ABCLSIM_FAULTS"), &err);
   ABCL_CHECK_MSG(faults.has_value(), ("ABCLSIM_FAULTS " + err).c_str());
   cfg.faults = *faults;
+  err.clear();
+  std::optional<remote::MigrationConfig> mig =
+      remote::parse_migration_spec(std::getenv("ABCLSIM_MIGRATION"), &err);
+  ABCL_CHECK_MSG(mig.has_value(), ("ABCLSIM_MIGRATION " + err).c_str());
+  cfg.migration = *mig;
   return cfg;
 }
 
@@ -118,11 +123,23 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
       std::function<void(core::NodeId)>{}, cfg_.pooling, cfg_.queue,
       cfg_.flush, cfg_.faults);
 
+  {
+    std::string merr;
+    ABCL_CHECK_MSG(remote::validate_migration_config(cfg_.migration, &merr),
+                   merr.c_str());
+  }
+
   nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
     core::NodeRuntime::Config nc = cfg_.node;
     nc.seed = cfg_.seed;
     nc.pooling = cfg_.pooling;
+    nc.migration = cfg_.migration;
+    // The shed policy is blind without load figures: when the app enabled
+    // migration but left gossip off, gossip runs at the shed interval.
+    if (nc.migration.enabled && nc.gossip_interval == 0) {
+      nc.gossip_interval = nc.migration.interval;
+    }
     auto rt = std::make_unique<core::NodeRuntime>(i, prog, *net_, cfg_.cost, nc);
     rt->placement().set_kind(cfg_.placement);
     nodes_.push_back(std::move(rt));

@@ -58,6 +58,13 @@ struct WorldConfig {
   // — a faults-off World is byte-identical to one built before this knob
   // existed. Set via with_faults(), or ABCLSIM_FAULTS through from_env().
   net::FaultConfig faults;
+  // Live object migration + deterministic work shedding; see
+  // remote/migration.hpp. Disabled by default — a migration-off World is
+  // byte-identical to one built before this knob existed. Set via
+  // with_migration(), or ABCLSIM_MIGRATION through from_env(). When enabled
+  // and gossip is off, World auto-enables gossip at the shed interval (the
+  // policy needs neighbour loads).
+  remote::MigrationConfig migration;
 
   // Builds a config with every environment-controlled knob resolved here,
   // once, strictly: ABCLSIM_HOST_THREADS (see parse_host_threads; unset ->
@@ -66,7 +73,9 @@ struct WorldConfig {
   // 0/false/off -> ablation baseline), ABCLSIM_QUEUE (unset/bucket or
   // heap), ABCLSIM_FLUSH (unset/merge or sort) and ABCLSIM_FAULTS (unset or
   // "off" -> no faults; otherwise a strict net::parse_fault_spec string
-  // like "drop=0.05,dup=0.01,seed=7"); anything else aborts.
+  // like "drop=0.05,dup=0.01,seed=7") and ABCLSIM_MIGRATION (unset or "off"
+  // -> no migration; otherwise a strict remote::parse_migration_spec string
+  // like "interval=32,hysteresis=2,seed=7"); anything else aborts.
   // New environment knobs must be absorbed here, not scattered.
   static WorldConfig from_env();
 
@@ -90,6 +99,10 @@ struct WorldConfig {
   WorldConfig& with_flush(net::FlushKind f) { flush = f; return *this; }
   WorldConfig& with_faults(const net::FaultConfig& f) {
     faults = f;
+    return *this;
+  }
+  WorldConfig& with_migration(const remote::MigrationConfig& m) {
+    migration = m;
     return *this;
   }
 };

@@ -1,5 +1,6 @@
 #include "core/node_runtime.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace abcl::core {
@@ -91,6 +92,11 @@ void NodeRuntime::step() {
     ++handled;
   }
 
+  // Shed check before the dispatch: the decision reads the run-queue depth
+  // the quantum started with (pure function of pre-quantum state, like the
+  // poll loop above).
+  if (cfg_.migration.enabled) maybe_shed();
+
   if (ObjectHeader* o = sched_.pop()) run_sched_item(o);
 
   if (cfg_.gossip_interval != 0 && quanta_run_ % cfg_.gossip_interval == 0) {
@@ -105,6 +111,28 @@ void NodeRuntime::step() {
 Status NodeRuntime::deliver_local(ObjectHeader* o, const MsgView& m) {
   charge(cm_->lookup_call);
   ++deliveries_this_quantum_;
+
+  // Migration stubs intercept before any dispatch: a forwarding stub
+  // bounces the message toward the object's new home (the loop walks local
+  // chains — an object that migrated away and later back through here), an
+  // in-transit stub buffers it until kMigrateDone flushes the inbox.
+  while (o->mode == Mode::kForwarding) {
+    auto it = stubs_.find(o);
+    ABCL_CHECK(it != stubs_.end());
+    stats_.migration_forwards += 1;
+    trace(sim::TraceEv::kForward, m.pattern);
+    const MailAddr fwd = it->second.fwd;
+    if (fwd.node == id_) {
+      o = fwd.ptr;
+      continue;
+    }
+    remote_send(fwd, m.pattern, m.args, m.nargs, m.reply);
+    return Status::kDone;
+  }
+  if (o->mode == Mode::kMigrating) {
+    queue_message(o, m);
+    return Status::kDone;
+  }
 
   if (cfg_.policy == SchedPolicy::kNaive) {
     naive_local_send(o, m);
@@ -382,6 +410,7 @@ std::uint16_t NodeRuntime::select_try(std::int32_t site, void* frame) {
 
 void NodeRuntime::send_past(MailAddr t, PatternId p, const Word* args, int nargs) {
   ABCL_CHECK(!t.is_nil());
+  if (!route_send(t, p, args, nargs, kNilReply)) return;  // held during a flush
   if (!cm_->opt.elide_locality_check) charge(cm_->locality_check);
   if (t.node == id_) {
     stats_.local_sends += 1;
@@ -403,6 +432,9 @@ NowCall NodeRuntime::send_now(MailAddr t, PatternId p, const Word* args,
   charge(cm_->reply_box_alloc);
   ReplyBox* box = alloc_reply_box();
   ReplyDest rd{id_, box};
+  // Held-during-flush messages carry the reply dest with them; the box is
+  // already allocated, so the caller's NowCall stays valid either way.
+  if (!route_send(t, p, args, nargs, rd)) return NowCall{box};
   if (!cm_->opt.elide_locality_check) charge(cm_->locality_check);
   if (t.node == id_) {
     stats_.local_sends += 1;
@@ -547,6 +579,7 @@ void NodeRuntime::destroy_object(ObjectHeader* o) {
   if (o->cls != nullptr && !o->needs_init && o->cls->destruct != nullptr) {
     o->cls->destruct(o->state());
   }
+  if (!migrated_meta_.empty()) migrated_meta_.erase(o);
   while (MsgFrame* f = o->mq.pop_front()) free_msg_frame(f);
   if (o->pending_init != nullptr) free_msg_frame(o->pending_init);
   // Unlink from the live list.
@@ -754,6 +787,15 @@ void NodeRuntime::on_obj_msg(const net::Packet& pkt) {
   PatternId p = prog_->pattern_of_handler(pkt.handler);
   auto* o = reinterpret_cast<ObjectHeader*>(pkt.at(0));
   ABCL_CHECK_MSG(o->home == id_, "object message routed to the wrong node");
+  if (o->mode == Mode::kForwarding) {
+    // Path compression: tell the sender where the chain currently ends so
+    // its later sends skip this stub (deliver_local below still does the
+    // actual forward for *this* message). No update while the chain dead-
+    // ends in an in-transit stub — the address is not yet known.
+    if (auto hit = peek_forward(o)) {
+      send_update_addr(pkt.src, pkt.at(0), hit->first, hit->second);
+    }
+  }
   ReplyDest rd = ReplyDest::from_words(pkt.at(1), pkt.at(2));
   MsgView m{p, static_cast<std::uint8_t>(pkt.nwords - 3), &pkt.payload[3], rd};
   deliver_local(o, m);
@@ -825,6 +867,530 @@ void NodeRuntime::on_load_gossip(const net::Packet& pkt) {
 }
 
 // ----------------------------------------------------------------------------
+// Live migration (remote/migration.hpp has the policy; DESIGN.md "Object
+// migration" has the protocol walkthrough and the determinism argument)
+// ----------------------------------------------------------------------------
+
+namespace {
+
+// kMigrateFrag payload: [old_ptr, offset, <= kFragWords blob words].
+constexpr std::uint32_t kFragWords = net::kMaxPacketWords - 2;
+
+}  // namespace
+
+void NodeRuntime::send_service(NodeId to, net::HandlerId h,
+                               std::initializer_list<Word> words) {
+  // Service traffic mirrors gossip's accounting: send-setup instructions
+  // are charged but remote_sends counts only application messages.
+  charge(cm_->send_setup);
+  net::Packet pkt;
+  pkt.handler = h;
+  pkt.src = id_;
+  pkt.dst = to;
+  pkt.send_time = clock_;
+  for (Word w : words) pkt.push(w);
+  net_->send(std::move(pkt), net::AmCategory::kService);
+}
+
+bool NodeRuntime::migratable_now(const ObjectHeader* o) const {
+  if (o == nullptr || o == cur_obj_) return false;
+  if (o->cls == nullptr || !o->cls->migratable || o->retired) return false;
+  if (o->mode != Mode::kDormant && o->mode != Mode::kActive &&
+      o->mode != Mode::kWaiting) {
+    return false;
+  }
+  // A pending now-call pins the object: its ReplyBox lives on this node and
+  // the reply will resume it here. Yield-blocked contexts (frame but no
+  // wait site) have no pattern that can re-enter them remotely.
+  if (o->awaiting_box != nullptr) return false;
+  if (o->blocked_frame != nullptr && o->vftp->wait_site < 0) return false;
+  return true;
+}
+
+std::optional<MailAddr> NodeRuntime::forward_target(
+    const ObjectHeader* o) const {
+  if (o->mode == Mode::kMigrating) {
+    // In transit: mail still funnels through this stub.
+    return MailAddr{id_, const_cast<ObjectHeader*>(o)};
+  }
+  if (o->mode != Mode::kForwarding) return std::nullopt;
+  auto it = stubs_.find(const_cast<ObjectHeader*>(o));
+  ABCL_CHECK(it != stubs_.end());
+  return it->second.fwd;
+}
+
+std::optional<std::pair<MailAddr, std::uint32_t>> NodeRuntime::peek_forward(
+    const ObjectHeader* o) const {
+  const ObjectHeader* cur = o;
+  for (;;) {
+    if (cur->mode == Mode::kMigrating) return std::nullopt;
+    if (cur->mode == Mode::kForwarding) {
+      auto it = stubs_.find(const_cast<ObjectHeader*>(cur));
+      ABCL_CHECK(it != stubs_.end());
+      if (it->second.fwd.node == id_) {
+        cur = it->second.fwd.ptr;
+        continue;
+      }
+      return std::make_pair(it->second.fwd, it->second.fwd_epoch);
+    }
+    // A live local copy: the object migrated back through this node. Its
+    // current epoch is in the migrated-in bookkeeping.
+    auto mit = migrated_meta_.find(const_cast<ObjectHeader*>(cur));
+    if (mit == migrated_meta_.end()) return std::nullopt;
+    return std::make_pair(MailAddr{id_, const_cast<ObjectHeader*>(cur)},
+                          mit->second.epoch);
+  }
+}
+
+bool NodeRuntime::route_send(MailAddr& t, PatternId p, const Word* args,
+                             int nargs, const ReplyDest& rd) {
+  // Guard keeps the migration-off hot path byte-identical: no lookup, no
+  // charge, until the first kUpdateAddr ever lands on this node.
+  if (redirects_.empty()) return true;
+  int hops = 0;
+  for (;;) {
+    auto it = redirects_.find(t.word_ptr());
+    if (it == redirects_.end()) return true;
+    RedirectEntry& e = it->second;
+    if (e.flushing) {
+      // Mail we previously routed through the stub chain has not drained
+      // past the flush marker yet; taking the shortcut now could overtake
+      // it. Hold until the ack.
+      stats_.migration_holds += 1;
+      HeldMsg h;
+      h.pattern = p;
+      h.nargs = nargs;
+      h.rd = rd;
+      for (int i = 0; i < nargs; ++i) h.args[i] = args[i];
+      e.held.push_back(h);
+      return false;
+    }
+    t = e.fwd;
+    ABCL_CHECK_MSG(++hops <= 64, "redirect chain too long (cycle?)");
+  }
+}
+
+void NodeRuntime::send_resolved(MailAddr t, PatternId p, const Word* args,
+                                int nargs, const ReplyDest& rd) {
+  if (t.node == id_) {
+    MsgView m{p, static_cast<std::uint8_t>(nargs), args, rd};
+    deliver_local(t.ptr, m);
+  } else {
+    remote_send(t, p, args, nargs, rd);
+  }
+}
+
+void NodeRuntime::maybe_shed() {
+  const remote::MigrationConfig& mc = cfg_.migration;
+  if (mc.interval == 0 || quanta_run_ % mc.interval != 0) return;
+  // Fresh gossip samples in the topology's fixed neighbour order, so the
+  // policy sees an identical vector in every driver.
+  std::vector<std::pair<std::int32_t, std::uint32_t>> loads;
+  for (NodeId nb : net_->topology().neighbors(id_)) {
+    if (auto l = known_load(nb)) loads.emplace_back(nb, *l);
+  }
+  auto depth = static_cast<std::uint32_t>(sched_.size());
+  auto d = remote::decide_shed(mc, id_, quanta_run_, depth, loads);
+  if (!d) return;
+  // Candidates in run-queue FIFO order: the objects that have waited
+  // longest are shipped first (canonical shed order; DESIGN.md).
+  std::vector<ObjectHeader*> victims;
+  sched_.for_each([&](ObjectHeader& o) {
+    if (victims.size() < d->quota && migratable_now(&o)) {
+      victims.push_back(&o);
+    }
+  });
+  for (ObjectHeader* v : victims) migrate_object_to(v, d->target);
+}
+
+void NodeRuntime::migrate_object_to(ObjectHeader* o, NodeId target) {
+  ABCL_CHECK(target >= 0 && target < num_nodes() && target != id_);
+  ABCL_CHECK_MSG(migratable_now(o), "object not migratable right now");
+  const ClassInfo& cls = *o->cls;
+  sched_.remove(o);
+
+  // Epoch = the object's migration count; the prior-stub trail travels so
+  // the new home can short-circuit every old stub after it attaches.
+  std::uint32_t epoch = 1;
+  std::vector<MailAddr> priors;
+  if (auto it = migrated_meta_.find(o); it != migrated_meta_.end()) {
+    epoch = it->second.epoch + 1;
+    priors = std::move(it->second.priors);
+    migrated_meta_.erase(it);
+  }
+
+  // --- state blob: [state words][ctor frame?][blocked ctx frame?] ---
+  std::uint32_t flags = 0;
+  std::size_t state_words = (cls.state_bytes + 7) / 8;
+  std::vector<Word> blob(state_words, 0);
+  if (o->needs_init) {
+    flags |= remote::kMigNeedsInit;  // bytes unconstructed; ship zeros
+  } else if (cls.state_bytes > 0) {
+    std::memcpy(blob.data(), o->state(), cls.state_bytes);
+  }
+  if (o->pending_init != nullptr) {
+    flags |= remote::kMigPendingInit;
+    MsgFrame* f = o->pending_init;
+    blob.push_back(static_cast<Word>(f->pattern) |
+                   (static_cast<Word>(f->nargs) << 16));
+    blob.push_back(f->reply.word_node());
+    blob.push_back(f->reply.word_box());
+    for (int i = 0; i < f->nargs; ++i) blob.push_back(f->args[i]);
+    free_msg_frame(f);
+    o->pending_init = nullptr;
+  }
+  std::int64_t wait_site = -1;
+  if (o->blocked_frame != nullptr) {
+    flags |= remote::kMigWaiting;
+    wait_site = o->vftp->wait_site;  // >= 0 per migratable_now
+    CtxFrameBase* hf = o->blocked_frame;
+    blob.push_back(hf->bytes);
+    std::size_t base = blob.size();
+    blob.insert(blob.end(), (hf->bytes + 7) / 8, 0);
+    std::memcpy(&blob[base], hf, hf->bytes);
+    blob.push_back(reinterpret_cast<Word>(o->resume_entry));
+    free_ctx_frame(hf);
+    o->blocked_frame = nullptr;
+    o->resume_entry = nullptr;
+  }
+
+  // Start packet: 6 header words + 2 per prior stub (kMaxPriorStubs keeps
+  // this within kMaxPacketWords).
+  const Word old_ptr = reinterpret_cast<Word>(o);
+  charge(cm_->send_setup);
+  net::Packet sp;
+  sp.handler = prog_->h_migrate_start();
+  sp.src = id_;
+  sp.dst = target;
+  sp.send_time = clock_;
+  sp.push(old_ptr);
+  sp.push(cls.id);
+  sp.push(static_cast<Word>(flags) | (static_cast<Word>(epoch) << 32));
+  sp.push(static_cast<Word>(wait_site));
+  sp.push(static_cast<Word>(blob.size()));
+  sp.push(static_cast<Word>(priors.size()));
+  for (const MailAddr& pr : priors) {
+    sp.push(pr.word_node());
+    sp.push(pr.word_ptr());
+  }
+  net_->send(std::move(sp), net::AmCategory::kService);
+
+  // The header left behind is now a buffering stub: every arrival queues
+  // until the new home confirms with kMigrateDone. The fault table (all
+  // entries queue) also makes inline_guard fail for it, and needs_init
+  // stops any destructor from running on the shipped-away state bytes.
+  o->vftp = &prog_->fault_vft();
+  o->mode = Mode::kMigrating;
+  o->needs_init = true;
+  stubs_[o] = StubInfo{};
+
+  // Fragments after the start packet (same channel, but reassembly is
+  // order-independent anyway — fault plans may reorder them).
+  for (std::uint32_t off = 0; off < blob.size(); off += kFragWords) {
+    charge(cm_->send_setup);
+    net::Packet fp;
+    fp.handler = prog_->h_migrate_frag();
+    fp.src = id_;
+    fp.dst = target;
+    fp.send_time = clock_;
+    fp.push(old_ptr);
+    fp.push(off);
+    std::uint32_t n = std::min<std::uint32_t>(
+        kFragWords, static_cast<std::uint32_t>(blob.size()) - off);
+    for (std::uint32_t i = 0; i < n; ++i) fp.push(blob[off + i]);
+    net_->send(std::move(fp), net::AmCategory::kService);
+  }
+
+  stats_.migrations_out += 1;
+  trace(sim::TraceEv::kMigrateOut, static_cast<std::uint64_t>(target));
+}
+
+void NodeRuntime::on_migrate_start(const net::Packet& pkt) {
+  const Word old_ptr = pkt.at(0);
+  InboundMigration& in = inbound_[old_ptr];
+  ABCL_CHECK_MSG(!in.have_start, "duplicate kMigrateStart past dedup");
+  in.have_start = true;
+  in.cls_id = static_cast<ClassId>(pkt.at(1));
+  in.flags = static_cast<std::uint32_t>(pkt.at(2));
+  in.epoch = static_cast<std::uint32_t>(pkt.at(2) >> 32);
+  in.wait_site = static_cast<std::int64_t>(pkt.at(3));
+  in.blob_words = static_cast<std::uint32_t>(pkt.at(4));
+  in.src = pkt.src;
+  const auto np = static_cast<std::size_t>(pkt.at(5));
+  for (std::size_t i = 0; i < np; ++i) {
+    in.priors.push_back(
+        MailAddr::from_words(pkt.at(6 + 2 * i), pkt.at(7 + 2 * i)));
+  }
+  if (in.blob.size() < in.blob_words) in.blob.resize(in.blob_words, 0);
+  if (in.received_words == in.blob_words) {
+    attach_migrated(old_ptr, in);
+    inbound_.erase(old_ptr);
+  }
+}
+
+void NodeRuntime::on_migrate_frag(const net::Packet& pkt) {
+  const Word old_ptr = pkt.at(0);
+  const auto off = static_cast<std::uint32_t>(pkt.at(1));
+  const int n = pkt.nwords - 2;
+  InboundMigration& in = inbound_[old_ptr];
+  // Fragments may beat the start packet under fault reordering; grow the
+  // buffer on demand and reconcile sizes when the start arrives. Network
+  // dedup delivers each fragment exactly once, so a received-word count
+  // detects completion without an offset bitmap.
+  if (in.blob.size() < off + static_cast<std::size_t>(n)) {
+    in.blob.resize(off + static_cast<std::size_t>(n), 0);
+  }
+  for (int i = 0; i < n; ++i) in.blob[off + i] = pkt.at(2 + i);
+  in.received_words += static_cast<std::uint32_t>(n);
+  if (in.have_start && in.received_words == in.blob_words) {
+    attach_migrated(old_ptr, in);
+    inbound_.erase(old_ptr);
+  }
+}
+
+void NodeRuntime::attach_migrated(Word old_ptr_word, InboundMigration& in) {
+  const ClassInfo& cls = prog_->cls(in.cls_id);
+  charge(cm_->create_remote_install);
+
+  // Raw allocation, deliberately not alloc_object(): a migrated-in object
+  // is not a creation — total_created and the kCreate trace stay untouched
+  // so conservation checks (created == per-class sums) and migration-off
+  // fingerprints line up. It is a live object changing homes.
+  std::size_t bytes = object_alloc_bytes(cls.state_bytes);
+  auto szcls = static_cast<std::uint16_t>(util::SlabAllocator::size_class(bytes));
+  void* mem = pool_.allocate(bytes);
+  auto* o = new (mem) ObjectHeader();
+  o->cls = &cls;
+  o->home = id_;
+  o->alloc_size_class = szcls;
+  o->live_next = live_head_;
+  o->live_pprev = &live_head_;
+  if (live_head_ != nullptr) live_head_->live_pprev = &o->live_next;
+  live_head_ = o;
+  ++live_objects_;
+
+  std::size_t pos = (cls.state_bytes + 7) / 8;
+  o->needs_init = (in.flags & remote::kMigNeedsInit) != 0;
+  if (!o->needs_init && cls.state_bytes > 0) {
+    std::memcpy(o->state(), in.blob.data(), cls.state_bytes);
+  }
+  if ((in.flags & remote::kMigPendingInit) != 0) {
+    MsgFrame* f = alloc_msg_frame();
+    const Word h = in.blob[pos++];
+    f->pattern = static_cast<PatternId>(h & 0xffff);
+    f->nargs = static_cast<std::uint8_t>(h >> 16);
+    f->reply = ReplyDest::from_words(in.blob[pos], in.blob[pos + 1]);
+    pos += 2;
+    for (int i = 0; i < f->nargs; ++i) f->args[i] = in.blob[pos++];
+    o->pending_init = f;
+  }
+  if ((in.flags & remote::kMigWaiting) != 0) {
+    const auto fbytes = static_cast<std::uint16_t>(in.blob[pos++]);
+    void* fmem = pool_.allocate(fbytes);
+    std::memcpy(fmem, &in.blob[pos], fbytes);
+    pos += (fbytes + 7) / 8;
+    auto* hf = static_cast<CtxFrameBase*>(fmem);
+    o->blocked_frame = hf;
+    o->resume_entry = reinterpret_cast<ResumeFn>(in.blob[pos++]);
+    ABCL_CHECK(in.wait_site >= 0 &&
+               static_cast<std::size_t>(in.wait_site) < cls.wait_sites.size());
+    o->vftp = &cls.wait_sites[static_cast<std::size_t>(in.wait_site)]->vft;
+    o->mode = Mode::kWaiting;
+  } else {
+    // The inbox (flushed from the old home after our Done) re-activates it
+    // naturally; no scheduler touch here.
+    o->vftp = o->needs_init ? &cls.lazy_init : &cls.dormant;
+    o->mode = Mode::kDormant;
+  }
+
+  stats_.migrations_in += 1;
+  trace(sim::TraceEv::kMigrateIn, static_cast<std::uint64_t>(in.src));
+
+  // Bookkeeping for a future onward migration: the full stub trail now
+  // includes the home we just left (capped; see kMaxPriorStubs).
+  MigratedMeta meta;
+  meta.epoch = in.epoch;
+  meta.priors = in.priors;
+  meta.priors.push_back(
+      MailAddr{in.src, reinterpret_cast<ObjectHeader*>(old_ptr_word)});
+  while (meta.priors.size() > remote::kMaxPriorStubs) {
+    meta.priors.erase(meta.priors.begin());
+  }
+  migrated_meta_[o] = std::move(meta);
+
+  // Confirm to the old home (turns its stub into a forwarder and flushes
+  // the buffered inbox here) ...
+  send_service(in.src, prog_->h_migrate_done(),
+               {old_ptr_word, static_cast<Word>(id_), reinterpret_cast<Word>(o),
+                static_cast<Word>(in.epoch)});
+  // ... and short-circuit every earlier stub straight to the new address,
+  // which is what bounds forwarding chains (epoch-guarded at the stub, so
+  // reordered updates from older migrations lose).
+  for (const MailAddr& prior : in.priors) {
+    if (prior.node == id_) {
+      stub_apply_update(prior.ptr, MailAddr{id_, o}, in.epoch);
+    } else {
+      stats_.migration_updates += 1;
+      send_service(prior.node, prog_->h_update_stub(),
+                   {prior.word_ptr(), static_cast<Word>(id_),
+                    reinterpret_cast<Word>(o), static_cast<Word>(in.epoch)});
+    }
+  }
+}
+
+void NodeRuntime::on_migrate_done(const net::Packet& pkt) {
+  auto* o = reinterpret_cast<ObjectHeader*>(pkt.at(0));
+  const MailAddr dest = MailAddr::from_words(pkt.at(1), pkt.at(2));
+  const auto epoch = static_cast<std::uint32_t>(pkt.at(3));
+  ABCL_CHECK_MSG(o->mode == Mode::kMigrating,
+                 "kMigrateDone for an object that is not in transit");
+  MailAddr fwd = kNilAddr;
+  std::vector<ParkedMarker> parked;
+  {
+    auto it = stubs_.find(o);
+    ABCL_CHECK(it != stubs_.end());
+    StubInfo& s = it->second;
+    // A kUpdateStub from a *later* migration may already have installed a
+    // fresher address (the Done raced it); the epoch guard keeps it.
+    if (epoch > s.fwd_epoch) {
+      s.fwd = dest;
+      s.fwd_epoch = epoch;
+    }
+    fwd = s.fwd;
+    parked = std::move(s.parked);
+    s.parked.clear();
+  }
+  o->mode = Mode::kForwarding;
+  // Flush the buffered inbox in FIFO order. The single old->new channel
+  // preserves that order on the wire; send_resolved also handles the
+  // migrated-back case where `fwd` is local again.
+  while (MsgFrame* f = o->mq.pop_front()) {
+    stats_.migration_mail += 1;
+    send_resolved(fwd, f->pattern, f->args, f->nargs, f->reply);
+    free_msg_frame(f);
+  }
+  // Parked flush markers chase the mail they were parked behind.
+  for (const ParkedMarker& pm : parked) {
+    run_flush_marker(o, pm.key_ptr, pm.epoch, pm.origin);
+  }
+}
+
+void NodeRuntime::stub_apply_update(ObjectHeader* stub, MailAddr dest,
+                                    std::uint32_t epoch) {
+  auto it = stubs_.find(stub);
+  ABCL_CHECK(it != stubs_.end());
+  StubInfo& s = it->second;
+  if (epoch <= s.fwd_epoch) return;  // stale (reordered across fault retries)
+  s.fwd = dest;
+  s.fwd_epoch = epoch;
+  // Mode is NOT flipped here: a kMigrating stub keeps buffering until its
+  // own Done arrives (the inbox must flush exactly once, behind nothing).
+}
+
+void NodeRuntime::on_update_stub(const net::Packet& pkt) {
+  stub_apply_update(reinterpret_cast<ObjectHeader*>(pkt.at(0)),
+                    MailAddr::from_words(pkt.at(1), pkt.at(2)),
+                    static_cast<std::uint32_t>(pkt.at(3)));
+}
+
+void NodeRuntime::send_update_addr(NodeId to, Word key_ptr, MailAddr dest,
+                                   std::uint32_t epoch) {
+  if (to == id_) return;  // local senders walk the stub chain directly
+  stats_.migration_updates += 1;
+  send_service(to, prog_->h_update_addr(),
+               {key_ptr, dest.word_node(), dest.word_ptr(),
+                static_cast<Word>(epoch)});
+}
+
+void NodeRuntime::on_update_addr(const net::Packet& pkt) {
+  const Word key = pkt.at(0);
+  const MailAddr dest = MailAddr::from_words(pkt.at(1), pkt.at(2));
+  const auto epoch = static_cast<std::uint32_t>(pkt.at(3));
+  RedirectEntry& e = redirects_[key];
+  if (e.epoch != 0 && epoch <= e.epoch) return;  // stale or duplicate
+  e.fwd = dest;
+  e.epoch = epoch;
+  // Enter (or re-enter, if a fresher address superseded a flush already in
+  // progress — the old ack's epoch no longer matches and is ignored) the
+  // flushing window: mail we already routed through the stub chain must
+  // drain past a marker before new mail may take the shortcut, or the
+  // shortcut could overtake it. pkt.src is the stub's node: updates for
+  // `key` only ever originate from key's home.
+  e.flushing = true;
+  send_service(pkt.src, prog_->h_flush_marker(),
+               {key, key, static_cast<Word>(epoch),
+                static_cast<Word>(static_cast<std::int64_t>(id_))});
+}
+
+void NodeRuntime::run_flush_marker(ObjectHeader* route, Word key_ptr,
+                                   std::uint32_t epoch, NodeId origin) {
+  // The marker travels exactly like a message would, so per-channel FIFO
+  // puts it *behind* all mail the origin previously routed this way.
+  while (route->mode == Mode::kForwarding) {
+    auto it = stubs_.find(route);
+    ABCL_CHECK(it != stubs_.end());
+    const MailAddr fwd = it->second.fwd;
+    if (fwd.node == id_) {
+      route = fwd.ptr;
+      continue;
+    }
+    send_service(fwd.node, prog_->h_flush_marker(),
+                 {fwd.word_ptr(), key_ptr, static_cast<Word>(epoch),
+                  static_cast<Word>(static_cast<std::int64_t>(origin))});
+    return;
+  }
+  if (route->mode == Mode::kMigrating) {
+    // Buffered mail ahead of the marker ships at Done; park the marker so
+    // it replays after that mail, keeping its position in the channel.
+    auto it = stubs_.find(route);
+    ABCL_CHECK(it != stubs_.end());
+    it->second.parked.push_back(ParkedMarker{key_ptr, epoch, origin});
+    return;
+  }
+  // Reached the live object: everything the origin sent ahead of the
+  // marker has been delivered. Release its held mail.
+  if (origin == id_) {
+    deliver_flush_ack_local(key_ptr, epoch);
+  } else {
+    send_service(origin, prog_->h_flush_ack(),
+                 {key_ptr, static_cast<Word>(epoch)});
+  }
+}
+
+void NodeRuntime::on_flush_marker(const net::Packet& pkt) {
+  run_flush_marker(reinterpret_cast<ObjectHeader*>(pkt.at(0)), pkt.at(1),
+                   static_cast<std::uint32_t>(pkt.at(2)),
+                   static_cast<NodeId>(static_cast<std::int64_t>(pkt.at(3))));
+}
+
+void NodeRuntime::on_flush_ack(const net::Packet& pkt) {
+  deliver_flush_ack_local(pkt.at(0), static_cast<std::uint32_t>(pkt.at(1)));
+}
+
+void NodeRuntime::deliver_flush_ack_local(Word key_ptr, std::uint32_t epoch) {
+  auto it = redirects_.find(key_ptr);
+  if (it == redirects_.end()) return;
+  RedirectEntry& e = it->second;
+  // A fresher kUpdateAddr restarted the window with a new epoch; this ack
+  // belongs to the superseded flush and must not release the mail early.
+  if (!e.flushing || e.epoch != epoch) return;
+  e.flushing = false;
+  // Move the held mail out before draining: each drained message re-routes
+  // from the key (the entry is open now, but a *chained* entry downstream
+  // may hold it again), and route_send may insert into redirects_,
+  // invalidating `e`.
+  std::vector<HeldMsg> held = std::move(e.held);
+  e.held.clear();
+  for (const HeldMsg& h : held) {
+    MailAddr t{id_, reinterpret_cast<ObjectHeader*>(key_ptr)};  // node unused:
+    // route_send resolves purely by pointer key and this key has an entry.
+    if (route_send(t, h.pattern, h.args, h.nargs, h.rd)) {
+      send_resolved(t, h.pattern, h.args, h.nargs, h.rd);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------------
 // Builtin handler registration (called from Program::finalize)
 // ----------------------------------------------------------------------------
 
@@ -876,6 +1442,30 @@ void register_builtin_handlers(Program& prog) {
   prog.h_load_gossip_ =
       am.register_handler("load-gossip", &trampoline<&NodeRuntime::on_load_gossip>,
                           net::AmCategory::kService);
+  // Live-migration protocol (registered last so migration-off runs keep the
+  // handler-id assignments — and therefore trace fingerprints — of older
+  // baselines).
+  prog.h_migrate_start_ = am.register_handler(
+      "migrate-start", &trampoline<&NodeRuntime::on_migrate_start>,
+      net::AmCategory::kService);
+  prog.h_migrate_frag_ = am.register_handler(
+      "migrate-frag", &trampoline<&NodeRuntime::on_migrate_frag>,
+      net::AmCategory::kService);
+  prog.h_migrate_done_ = am.register_handler(
+      "migrate-done", &trampoline<&NodeRuntime::on_migrate_done>,
+      net::AmCategory::kService);
+  prog.h_update_addr_ = am.register_handler(
+      "update-addr", &trampoline<&NodeRuntime::on_update_addr>,
+      net::AmCategory::kService);
+  prog.h_update_stub_ = am.register_handler(
+      "update-stub", &trampoline<&NodeRuntime::on_update_stub>,
+      net::AmCategory::kService);
+  prog.h_flush_marker_ = am.register_handler(
+      "flush-marker", &trampoline<&NodeRuntime::on_flush_marker>,
+      net::AmCategory::kService);
+  prog.h_flush_ack_ = am.register_handler(
+      "flush-ack", &trampoline<&NodeRuntime::on_flush_ack>,
+      net::AmCategory::kService);
 }
 
 }  // namespace abcl::core

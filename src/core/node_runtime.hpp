@@ -21,6 +21,7 @@
 #include "core/scheduler.hpp"
 #include "net/network.hpp"
 #include "remote/chunk_stock.hpp"
+#include "remote/migration.hpp"
 #include "remote/placement.hpp"
 #include "remote/services.hpp"
 #include "sim/cost_model.hpp"
@@ -66,6 +67,10 @@ class NodeRuntime final : public sim::NodeExec {
     // bench_alloc ablation baseline. Simulation results are identical
     // either way; only host time and the alloc counters differ.
     bool pooling = true;
+    // Live migration (remote/migration.hpp). Disabled by default; the
+    // shed policy additionally needs gossip (World auto-enables it at the
+    // shed interval when the app left gossip off).
+    remote::MigrationConfig migration;
   };
 
   NodeRuntime(NodeId id, Program& prog, net::Network& net,
@@ -277,6 +282,21 @@ class NodeRuntime final : public sim::NodeExec {
   // Objects ever created on this node (monotone; for reports/leak checks).
   std::uint64_t total_created() const { return total_created_; }
 
+  // ----- live migration (remote/migration.hpp) -----------------------------
+  // True iff `o` may be shipped right now: a migratable class, not running,
+  // not already in transit, and either fully idle or parked at a wait site
+  // (the blocked context frame travels with the state; yield-blocked objects
+  // have no wait site to re-enter and stay put).
+  bool migratable_now(const ObjectHeader* o) const;
+  // Ships `o` to `target` (caller checked migratable_now). The local header
+  // becomes a buffering stub until the new home confirms with kMigrateDone,
+  // then a forwarding stub for the rest of the run.
+  void migrate_object_to(ObjectHeader* o, NodeId target);
+  // Where mail for a (possibly former) local object ends up: nullopt for a
+  // live local object, otherwise the forwarding destination. Probing aid for
+  // the fuzz oracle; in-transit stubs report their (pre-Done) old address.
+  std::optional<MailAddr> forward_target(const ObjectHeader* o) const;
+
  private:
   friend void register_builtin_handlers(Program& prog);
 
@@ -299,6 +319,61 @@ class NodeRuntime final : public sim::NodeExec {
     Word args[kMaxArgs] = {};
   };
 
+  // ----- live-migration state (all node-side: ObjectHeader never grows,
+  // so slab size classes and the migration-off alloc metrics stay
+  // byte-identical to the committed baselines) -----------------------------
+
+  // A kFlushMarker parked at an in-transit stub; replayed after the
+  // buffered mail once kMigrateDone installs the forwarding address.
+  struct ParkedMarker {
+    Word key_ptr = 0;           // redirect-map key at the marker's origin
+    std::uint32_t epoch = 0;
+    NodeId origin = -1;
+  };
+  // Old-home side of a migrated object (keyed by the stub's header).
+  struct StubInfo {
+    MailAddr fwd = kNilAddr;    // nil while kMigrating (not yet confirmed)
+    std::uint32_t fwd_epoch = 0;
+    std::vector<ParkedMarker> parked;
+  };
+  // A message held at the sender while a redirect entry flushes.
+  struct HeldMsg {
+    PatternId pattern = 0;
+    int nargs = 0;
+    ReplyDest rd = kNilReply;
+    Word args[kMaxArgs] = {};
+  };
+  // Sender-side directory: "mail addressed to key now goes to fwd". The
+  // flushing window (kFlushMarker round trip) keeps per-object FIFO intact
+  // across the shortcut: new mail is held until mail already routed through
+  // the stub chain has drained.
+  struct RedirectEntry {
+    MailAddr fwd = kNilAddr;
+    std::uint32_t epoch = 0;
+    bool flushing = false;
+    std::vector<HeldMsg> held;
+  };
+  // Reassembly buffer for one inbound migration (fragments may arrive
+  // before the start packet under fault reordering).
+  struct InboundMigration {
+    bool have_start = false;
+    ClassId cls_id = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t epoch = 0;
+    std::int64_t wait_site = -1;
+    std::uint32_t blob_words = 0;
+    std::uint32_t received_words = 0;
+    NodeId src = -1;
+    std::vector<MailAddr> priors;
+    std::vector<Word> blob;
+  };
+  // New-home side bookkeeping for a migrated-in object: its epoch and the
+  // trail of stubs to notify (kUpdateStub) if it migrates again.
+  struct MigratedMeta {
+    std::uint32_t epoch = 0;
+    std::vector<MailAddr> priors;
+  };
+
   ObjectHeader* alloc_object(const ClassInfo& cls);
   void destroy_object(ObjectHeader* o);
   void maybe_retire(ObjectHeader* o);
@@ -310,6 +385,32 @@ class NodeRuntime final : public sim::NodeExec {
   void deliver_reply_local(ReplyBox* box, const Word* vals, int n);
   void naive_local_send(ObjectHeader* o, const MsgView& m);
 
+  // Migration internals (node_runtime.cpp, migration section).
+  void maybe_shed();
+  void attach_migrated(Word old_ptr_word, InboundMigration& in);
+  // Pure read: follows local stub links from `o` to the final forwarding
+  // destination; nullopt while any hop is still kMigrating (unconfirmed).
+  std::optional<std::pair<MailAddr, std::uint32_t>> peek_forward(
+      const ObjectHeader* o) const;
+  // Sender-side redirect resolution; returns false when the message was
+  // held at a flushing entry (caller must not also send it).
+  bool route_send(MailAddr& target, PatternId p, const Word* args, int nargs,
+                  const ReplyDest& rd);
+  // Delivers locally or remotely after redirection already happened.
+  void send_resolved(MailAddr target, PatternId p, const Word* args, int nargs,
+                     const ReplyDest& rd);
+  void run_flush_marker(ObjectHeader* route, Word key_ptr, std::uint32_t epoch,
+                        NodeId origin);
+  void deliver_flush_ack_local(Word key_ptr, std::uint32_t epoch);
+  void send_update_addr(NodeId to, Word key_ptr, MailAddr dest,
+                        std::uint32_t epoch);
+  // Charges send-setup and hands a Category-4 service packet to the network
+  // (mirrors gossip: service traffic is not counted in remote_sends).
+  void send_service(NodeId to, net::HandlerId h,
+                    std::initializer_list<Word> words);
+  void stub_apply_update(ObjectHeader* stub, MailAddr dest,
+                         std::uint32_t epoch);
+
   // Active-message handler bodies (dispatched via Program's registry).
   void on_obj_msg(const net::Packet& pkt);
   void on_reply(const net::Packet& pkt);
@@ -317,6 +418,13 @@ class NodeRuntime final : public sim::NodeExec {
   void on_alloc_request(const net::Packet& pkt);
   void on_replenish(const net::Packet& pkt);
   void on_load_gossip(const net::Packet& pkt);
+  void on_migrate_start(const net::Packet& pkt);
+  void on_migrate_frag(const net::Packet& pkt);
+  void on_migrate_done(const net::Packet& pkt);
+  void on_update_addr(const net::Packet& pkt);
+  void on_update_stub(const net::Packet& pkt);
+  void on_flush_marker(const net::Packet& pkt);
+  void on_flush_ack(const net::Packet& pkt);
 
   NodeId id_;
   Program* prog_;
@@ -346,6 +454,15 @@ class NodeRuntime final : public sim::NodeExec {
   remote::ChunkStock stock_;
   remote::LoadMap loads_;
   remote::Placement placement_;
+
+  // Migration maps, all keyed by header words (process-globally unique:
+  // every node heap lives in one address space and stubs are never freed).
+  // Lookups are keyed-only — the maps are never iterated — so unordered
+  // iteration order cannot leak into results and determinism holds.
+  std::unordered_map<ObjectHeader*, StubInfo> stubs_;
+  std::unordered_map<Word, RedirectEntry> redirects_;
+  std::unordered_map<Word, InboundMigration> inbound_;
+  std::unordered_map<ObjectHeader*, MigratedMeta> migrated_meta_;
 };
 
 // Registers the builtin active-message handlers on `prog`'s registry;

@@ -59,6 +59,14 @@ class Program {
   net::HandlerId h_reply() const { return h_reply_; }
   net::HandlerId h_alloc_request() const { return h_alloc_request_; }
   net::HandlerId h_load_gossip() const { return h_load_gossip_; }
+  // Live-migration protocol (Category 4 services; see remote/migration.hpp).
+  net::HandlerId h_migrate_start() const { return h_migrate_start_; }
+  net::HandlerId h_migrate_frag() const { return h_migrate_frag_; }
+  net::HandlerId h_migrate_done() const { return h_migrate_done_; }
+  net::HandlerId h_update_addr() const { return h_update_addr_; }
+  net::HandlerId h_update_stub() const { return h_update_stub_; }
+  net::HandlerId h_flush_marker() const { return h_flush_marker_; }
+  net::HandlerId h_flush_ack() const { return h_flush_ack_; }
 
   PatternId pattern_of_handler(net::HandlerId h) const {
     return static_cast<PatternId>(h - h_obj_msg_base_);
@@ -85,6 +93,13 @@ class Program {
   net::HandlerId h_reply_ = 0;
   net::HandlerId h_alloc_request_ = 0;
   net::HandlerId h_load_gossip_ = 0;
+  net::HandlerId h_migrate_start_ = 0;
+  net::HandlerId h_migrate_frag_ = 0;
+  net::HandlerId h_migrate_done_ = 0;
+  net::HandlerId h_update_addr_ = 0;
+  net::HandlerId h_update_stub_ = 0;
+  net::HandlerId h_flush_marker_ = 0;
+  net::HandlerId h_flush_ack_ = 0;
 };
 
 }  // namespace abcl::core

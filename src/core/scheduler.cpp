@@ -4,10 +4,10 @@ namespace abcl::core {
 
 void NodeStats::merge(const NodeStats& o) {
   // Field-coverage guard: a new NodeStats member must be merged below or
-  // World::total_stats silently drops it (21 uint64 counters plus 5
+  // World::total_stats silently drops it (27 uint64 counters plus 5
   // Log2Histograms on LP64). tests/test_obs.cpp checks the fields.
   static_assert(sizeof(NodeStats) ==
-                    21 * sizeof(std::uint64_t) +
+                    27 * sizeof(std::uint64_t) +
                         (kNumAmCategories + 1) * sizeof(util::Log2Histogram),
                 "new NodeStats field? merge it here and in the tests");
   local_sends += o.local_sends;
@@ -29,6 +29,12 @@ void NodeStats::merge(const NodeStats& o) {
   chunk_stock_misses += o.chunk_stock_misses;
   sched_enqueues += o.sched_enqueues;
   sched_dispatches += o.sched_dispatches;
+  migrations_out += o.migrations_out;
+  migrations_in += o.migrations_in;
+  migration_mail += o.migration_mail;
+  migration_forwards += o.migration_forwards;
+  migration_updates += o.migration_updates;
+  migration_holds += o.migration_holds;
   busy_instr += o.busy_instr;
   idle_instr += o.idle_instr;
   for (int i = 0; i < kNumAmCategories; ++i) msg_latency[i].merge(o.msg_latency[i]);

@@ -44,6 +44,24 @@ class SchedQueue {
 
   ObjectHeader* pop() { return q_.pop_front(); }
 
+  // Detaches `o` wherever it sits in the queue (migration shed). Returns
+  // true iff it was queued; its sched_state is reset so a later push is a
+  // fresh enqueue.
+  bool remove(ObjectHeader* o) {
+    if (o->sched_state == SchedState::kNone) return false;
+    ObjectHeader* out =
+        q_.remove_first_if([o](ObjectHeader& x) { return &x == o; });
+    ABCL_CHECK(out == o);
+    o->sched_state = SchedState::kNone;
+    return true;
+  }
+
+  // FIFO-order read-only walk (shed candidate scan).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    q_.for_each(fn);
+  }
+
  private:
   util::IntrusiveFifo<ObjectHeader, &ObjectHeader::sched_next> q_;
 };
@@ -75,6 +93,14 @@ struct NodeStats {
   // scheduling queue
   std::uint64_t sched_enqueues = 0;
   std::uint64_t sched_dispatches = 0;
+  // live migration (remote/migration.*; all zero when migration is off so
+  // the migration-off metrics snapshot stays byte-identical to baselines)
+  std::uint64_t migrations_out = 0;     // objects shed from this node
+  std::uint64_t migrations_in = 0;      // objects attached at this node
+  std::uint64_t migration_mail = 0;     // inbox frames flushed across a move
+  std::uint64_t migration_forwards = 0; // messages bounced by a stub here
+  std::uint64_t migration_updates = 0;  // kUpdateAddr/kUpdateStub sent
+  std::uint64_t migration_holds = 0;    // sends held during a flush window
   // time accounting
   sim::Instr busy_instr = 0;   // total charged work
   sim::Instr idle_instr = 0;   // clock jumps while waiting for packets

@@ -27,6 +27,8 @@ enum class Mode : std::uint8_t {
   kWaiting,        // blocked in selective reception / reply wait
   kUninitialized,  // created locally, state vars not yet initialized
   kFault,          // remote-created chunk, creation request not yet arrived
+  kMigrating,      // state shipped to a new home; inbox buffering until Done
+  kForwarding,     // forwarding stub: bounces mail to the object's new home
 };
 
 inline const char* to_string(Mode m) {
@@ -36,6 +38,8 @@ inline const char* to_string(Mode m) {
     case Mode::kWaiting: return "waiting";
     case Mode::kUninitialized: return "uninitialized";
     case Mode::kFault: return "fault";
+    case Mode::kMigrating: return "migrating";
+    case Mode::kForwarding: return "forwarding";
   }
   return "?";
 }

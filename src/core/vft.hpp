@@ -93,6 +93,11 @@ struct ClassInfo {
   Vft dormant;
   Vft active;
   Vft lazy_init;
+  // The class opted into live migration (ClassDef::migratable()): its state
+  // is trivially copyable/destructible, so a raw word copy of the state box
+  // is a faithful transfer and the stale copy left at the old home needs no
+  // teardown. Non-migratable objects are simply never shed.
+  bool migratable = false;
   bool finalized = false;
 
   const MethodInfo* method(PatternId p) const {

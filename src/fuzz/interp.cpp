@@ -264,6 +264,11 @@ InterpPatterns register_interp(core::Program& prog) {
   ip.tok = prog.patterns().intern("fz.tok", 1);
 
   ClassDef<ActorState> def(prog, "FuzzActor");
+  // Migration-eligible: ActorState is {pointer, two ints} — trivially
+  // copyable/destructible — and RunCtx is process-global, so the pointer
+  // survives a node change. Harmless when the spec carries no migration
+  // block (the flag is only consulted by an enabled shedding policy).
+  def.migratable();
   def.method<StepFrame>(ip.step);
   def.method<AskFrame>(ip.ask);
   def.method<ReflectFrame>(ip.reflect);
@@ -303,6 +308,7 @@ FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
   cfg.queue = queue;
   cfg.flush = flush;
   if (spec_.faults.has_value()) cfg.faults = *spec_.faults;
+  if (spec_.migration.has_value()) cfg.migration = *spec_.migration;
 
   counters_.assign(static_cast<std::size_t>(spec_.nodes), Counters{});
   rc_.spec = &spec_;
@@ -353,17 +359,38 @@ const CompletionLatch& FuzzWorld::latch() const {
   return latch_state(rc_.latch);
 }
 
+namespace {
+
+// A boot-time address may now be a forwarding stub (live migration): chase
+// the chain to the object's current home. An in-transit stub reports its
+// own address; at quiescence none exist, so the probe lands on the live
+// header either way.
+MailAddr resolve_home(const World& w, MailAddr a) {
+  for (int hops = 0; hops < 64; ++hops) {
+    auto f = w.node(a.node).forward_target(a.ptr);
+    if (!f.has_value()) return a;
+    if (f->node == a.node && f->ptr == a.ptr) return a;
+    a = *f;
+  }
+  ABCL_CHECK_MSG(false, "forwarding chain exceeds 64 hops");
+  return a;
+}
+
+}  // namespace
+
 std::uint64_t FuzzWorld::waiting_static_objects() const {
   std::uint64_t n = 0;
   for (const MailAddr& a : rc_.addrs) {
-    if (a.ptr->mode == core::Mode::kWaiting) ++n;
+    if (resolve_home(*world_, a).ptr->mode == core::Mode::kWaiting) ++n;
   }
   return n;
 }
 
 std::uint64_t FuzzWorld::queued_static_msgs() const {
   std::uint64_t n = 0;
-  for (const MailAddr& a : rc_.addrs) n += a.ptr->mq.size();
+  for (const MailAddr& a : rc_.addrs) {
+    n += resolve_home(*world_, a).ptr->mq.size();
+  }
   return n;
 }
 

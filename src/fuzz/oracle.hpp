@@ -15,7 +15,9 @@
 //     asks made == asks answered, tokens requested == emitted ==
 //     consumed + stray, creations begun == finished); created objects ==
 //     statics + latch + finished creations; and at quiescence no static
-//     object is left in waiting mode or with a non-empty queue.
+//     object is left in waiting mode or with a non-empty queue (probed at
+//     its current home, following forwarding stubs). With a migration
+//     block, migrations out == in and buffered/held mail is fully flushed.
 //
 //  3. Metamorphic: scaling the network cost model (wire latency x4,
 //     per-hop x2) must not change any flow-determined counter — the
@@ -95,6 +97,18 @@ struct RunResult {
   std::uint64_t fault_delivered = 0;
   std::uint64_t fault_dup_suppressed = 0;
   std::uint64_t fault_forced = 0;
+  // Migration-layer accounting (all zero when the Spec carries no migration
+  // block). check_invariants turns migrations_out == migrations_in into a
+  // conservation proof: every shipped object is installed at exactly one
+  // new home, and (with the step/ask/token identities above, which count
+  // dispatches at whatever home the message lands on) every message is
+  // dispatched exactly once even while its target moves.
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migration_mail = 0;
+  std::uint64_t migration_forwards = 0;
+  std::uint64_t migration_updates = 0;
+  std::uint64_t migration_holds = 0;
 };
 
 // `queue`/`flush` select the time-queue and commit-path ablations; every

@@ -150,6 +150,27 @@ bool read_faults(const obs::JsonValue* v, net::FaultConfig* out) {
          read_u64(v->find("seed"), &out->seed);
 }
 
+void migration_json(obs::JsonWriter& w, const remote::MigrationConfig& mc) {
+  w.key("migration");
+  w.begin_object();
+  w.field("interval", static_cast<std::uint64_t>(mc.interval));
+  w.field("hysteresis", static_cast<std::uint64_t>(mc.hysteresis));
+  w.field("max_batch", static_cast<std::uint64_t>(mc.max_batch));
+  w.field("min_queue", static_cast<std::uint64_t>(mc.min_queue));
+  w.field("seed", mc.seed);
+  w.end_object();
+}
+
+bool read_migration(const obs::JsonValue* v, remote::MigrationConfig* out) {
+  if (v == nullptr || v->kind != obs::JsonValue::Kind::kObject) return false;
+  out->enabled = true;
+  return read_u32(v->find("interval"), &out->interval) &&
+         read_u32(v->find("hysteresis"), &out->hysteresis) &&
+         read_u32(v->find("max_batch"), &out->max_batch) &&
+         read_u32(v->find("min_queue"), &out->min_queue) &&
+         read_u64(v->find("seed"), &out->seed);
+}
+
 bool read_action(const obs::JsonValue& v, Action* out) {
   if (v.kind != obs::JsonValue::Kind::kArray || v.array.size() != 3) {
     return false;
@@ -212,6 +233,16 @@ bool Spec::validate(std::string* error) const {
       return fail(error, "faults: " + ferr);
     }
   }
+  if (migration.has_value()) {
+    if (!migration->enabled) {
+      return fail(error,
+                  "migration block present but disabled (omit it instead)");
+    }
+    std::string merr;
+    if (!remote::validate_migration_config(*migration, &merr)) {
+      return fail(error, "migration: " + merr);
+    }
+  }
   if (dynamic.size() > 4096) return fail(error, "too many dynamic templates");
   if (boot.size() > 4096) return fail(error, "too many boot messages");
   for (std::size_t i = 0; i < objects.size(); ++i) {
@@ -250,6 +281,7 @@ std::string Spec::to_json() const {
   w.field("seed_stock_depth", static_cast<std::int64_t>(seed_stock_depth));
   w.field("disable_replenish", disable_replenish);
   if (faults.has_value()) faults_json(w, *faults);
+  if (migration.has_value()) migration_json(w, *migration);
   w.key("objects");
   w.begin_array();
   for (const ObjectSpec& os : objects) object_json(w, os);
@@ -309,6 +341,12 @@ std::optional<Spec> Spec::from_json(std::string_view text, std::string* error) {
     net::FaultConfig fc;
     if (!read_faults(fv, &fc)) return bad("bad faults block");
     s.faults = fc;
+  }
+  // Optional (absent in every pre-migration repro file; schema stays v1).
+  if (const obs::JsonValue* mv = root->find("migration"); mv != nullptr) {
+    remote::MigrationConfig mc;
+    if (!read_migration(mv, &mc)) return bad("bad migration block");
+    s.migration = mc;
   }
   if (!read_objects(root->find("objects"), &s.objects)) {
     return bad("bad objects array");

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/fault.hpp"
+#include "remote/migration.hpp"
 
 namespace abcl::fuzz {
 
@@ -81,6 +82,12 @@ struct Spec {
   // under the unchanged v1 schema (from_json ignores unknown keys, so old
   // binaries also tolerate new repros that carry the block).
   std::optional<net::FaultConfig> faults;
+
+  // Optional live-migration knob (serialized as a "migration" object with
+  // the same absence rule as "faults"). The interpreter marks its actor
+  // class migratable, so an enabled block exercises shedding, forwarding
+  // stubs and path compression under the oracle's conservation identity.
+  std::optional<remote::MigrationConfig> migration;
 
   std::vector<ObjectSpec> objects;  // static, index-addressed
   std::vector<ObjectSpec> dynamic;  // templates for kCreate

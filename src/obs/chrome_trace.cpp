@@ -20,6 +20,9 @@ const char* payload_name(sim::TraceEv e) {
     case sim::TraceEv::kCreate: return "class";
     case sim::TraceEv::kFaultDup: return "handler";
     case sim::TraceEv::kFaultRetry: return "attempt";
+    case sim::TraceEv::kMigrateOut: return "target_node";
+    case sim::TraceEv::kMigrateIn: return "source_node";
+    case sim::TraceEv::kForward: return "pattern";
   }
   return "payload";
 }

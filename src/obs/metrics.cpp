@@ -19,7 +19,11 @@ void running_stat_json(JsonWriter& w, const util::RunningStat& s) {
 }
 
 // The scalar counters shared by the per-node records and the totals block.
-void node_counters_json(JsonWriter& w, const core::NodeStats& s) {
+// `include_migration` is keyed off WorldConfig.migration.enabled: migration-
+// off snapshots must stay byte-identical to baselines written before the
+// fields existed.
+void node_counters_json(JsonWriter& w, const core::NodeStats& s,
+                        bool include_migration) {
   w.field("local_sends", s.local_sends);
   w.field("local_to_dormant", s.local_to_dormant);
   w.field("local_to_active", s.local_to_active);
@@ -39,6 +43,14 @@ void node_counters_json(JsonWriter& w, const core::NodeStats& s) {
   w.field("chunk_stock_misses", s.chunk_stock_misses);
   w.field("sched_enqueues", s.sched_enqueues);
   w.field("sched_dispatches", s.sched_dispatches);
+  if (include_migration) {
+    w.field("migrations_out", s.migrations_out);
+    w.field("migrations_in", s.migrations_in);
+    w.field("migration_mail", s.migration_mail);
+    w.field("migration_forwards", s.migration_forwards);
+    w.field("migration_updates", s.migration_updates);
+    w.field("migration_holds", s.migration_holds);
+  }
   w.field("busy_instr", s.busy_instr);
   w.field("idle_instr", s.idle_instr);
 }
@@ -163,10 +175,36 @@ std::string metrics_json(const World& world, const RunReport* rep) {
   }
   w.end_object();
 
+  // The migration block mirrors "faults": present only when the knob is on
+  // (migration-off byte-identity), ignored by default in the regression
+  // comparator so a migration-run candidate can diff against an off
+  // baseline.
+  const bool migration_on = world.config().migration.enabled;
+  if (migration_on) {
+    const remote::MigrationConfig& mc = world.config().migration;
+    w.key("migration");
+    w.begin_object();
+    w.key("config");
+    w.begin_object();
+    w.field("interval", static_cast<std::uint64_t>(mc.interval));
+    w.field("hysteresis", static_cast<std::uint64_t>(mc.hysteresis));
+    w.field("max_batch", static_cast<std::uint64_t>(mc.max_batch));
+    w.field("min_queue", static_cast<std::uint64_t>(mc.min_queue));
+    w.field("seed", mc.seed);
+    w.end_object();
+    const core::NodeStats t = world.total_stats();
+    w.field("migrations", t.migrations_out);
+    w.field("mail_flushed", t.migration_mail);
+    w.field("forwards", t.migration_forwards);
+    w.field("updates", t.migration_updates);
+    w.field("holds", t.migration_holds);
+    w.end_object();
+  }
+
   core::NodeStats totals = world.total_stats();
   w.key("totals");
   w.begin_object();
-  node_counters_json(w, totals);
+  node_counters_json(w, totals, migration_on);
   w.field("live_objects", static_cast<std::uint64_t>(world.total_live_objects()));
   w.field("created_objects", world.total_created_objects());
   w.field("heap_bytes", static_cast<std::uint64_t>(world.total_heap_bytes()));
@@ -182,7 +220,7 @@ std::string metrics_json(const World& world, const RunReport* rep) {
     w.begin_object();
     w.field("node", static_cast<std::int64_t>(n.node_id()));
     w.field("clock", n.clock());
-    node_counters_json(w, n.stats());
+    node_counters_json(w, n.stats(), migration_on);
     w.field("live_objects", static_cast<std::uint64_t>(n.live_objects()));
     w.field("created_objects", n.total_created());
     w.field("heap_bytes", static_cast<std::uint64_t>(n.heap_bytes()));

@@ -11,8 +11,9 @@ namespace abcl::obs {
 // fault-injection block: it only exists in fault-enabled runs, and ignoring
 // it both ways lets a fault-run candidate compare against the committed
 // faults-off baselines (and vice versa) without structural drift.
+// "migration" follows the same pattern for the live-migration block.
 const std::vector<std::string> kDefaultIgnoredKeys = {
-    "wall_ms", "host_cores", "parallel_meaningful", "faults"};
+    "wall_ms", "host_cores", "parallel_meaningful", "faults", "migration"};
 
 namespace {
 

@@ -1,0 +1,197 @@
+#include "remote/migration.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace abcl::remote {
+
+bool validate_migration_config(const MigrationConfig& cfg, std::string* err) {
+  auto fail = [&](const char* msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  if (!cfg.enabled) return true;
+  if (cfg.interval < 1) {
+    return fail("migration config: interval must be >= 1 quantum");
+  }
+  if (cfg.max_batch < 1) {
+    return fail("migration config: max_batch must be >= 1");
+  }
+  if (cfg.min_queue < 1) {
+    return fail("migration config: min_queue must be >= 1");
+  }
+  return true;
+}
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (v > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return std::nullopt;
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::optional<MigrationConfig> parse_migration_spec(const char* text,
+                                                    std::string* err) {
+  MigrationConfig cfg;
+  if (text == nullptr || *text == '\0') return cfg;  // unset: migration off
+  const std::string raw = text;
+  auto fail = [&](const std::string& why) -> std::optional<MigrationConfig> {
+    if (err != nullptr) {
+      *err = "migration spec \"" + raw + "\": " + why +
+             " (expected comma-separated "
+             "interval/hysteresis/max_batch/min_queue/seed=N)";
+    }
+    return std::nullopt;
+  };
+  if (trim(raw) == "off") return cfg;
+  cfg.enabled = true;
+
+  bool seen[5] = {};
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    std::size_t comma = raw.find(',', pos);
+    if (comma == std::string::npos) comma = raw.size();
+    const std::string item = trim(raw.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (item.empty()) return fail("empty list entry");
+    std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return fail("entry \"" + item + "\" has no '='");
+    }
+    const std::string key = trim(item.substr(0, eq));
+    const std::string val = trim(item.substr(eq + 1));
+
+    std::optional<std::uint64_t> v = parse_u64(val);
+    auto u32 = [&](const char* name, std::uint32_t* out,
+                   int idx) -> std::optional<std::string> {
+      if (seen[idx]) return "duplicate key \"" + std::string(name) + "\"";
+      seen[idx] = true;
+      if (!v.has_value() || *v > 0xFFFFFFFFull) {
+        return std::string(name) + "=\"" + val +
+               "\" is not a non-negative 32-bit integer";
+      }
+      *out = static_cast<std::uint32_t>(*v);
+      return std::nullopt;
+    };
+
+    std::optional<std::string> why;
+    if (key == "interval") {
+      why = u32("interval", &cfg.interval, 0);
+    } else if (key == "hysteresis") {
+      why = u32("hysteresis", &cfg.hysteresis, 1);
+    } else if (key == "max_batch") {
+      why = u32("max_batch", &cfg.max_batch, 2);
+    } else if (key == "min_queue") {
+      why = u32("min_queue", &cfg.min_queue, 3);
+    } else if (key == "seed") {
+      if (seen[4]) {
+        why = "duplicate key \"seed\"";
+      } else {
+        seen[4] = true;
+        if (!v.has_value()) {
+          why = "seed=\"" + val + "\" is not a non-negative integer";
+        } else {
+          cfg.seed = *v;
+        }
+      }
+    } else {
+      why = "unknown key \"" + key + "\"";
+    }
+    if (why.has_value()) return fail(*why);
+    if (pos > raw.size()) break;
+  }
+
+  std::string verr;
+  if (!validate_migration_config(cfg, &verr)) return fail(verr);
+  return cfg;
+}
+
+std::string to_string(const MigrationConfig& cfg) {
+  if (!cfg.enabled) return "off";
+  std::string out;
+  out += "interval=" + std::to_string(cfg.interval);
+  out += ",hysteresis=" + std::to_string(cfg.hysteresis);
+  out += ",max_batch=" + std::to_string(cfg.max_batch);
+  out += ",min_queue=" + std::to_string(cfg.min_queue);
+  out += ",seed=" + std::to_string(cfg.seed);
+  return out;
+}
+
+std::uint64_t shed_roll(std::uint64_t seed, std::int32_t node,
+                        std::uint64_t quantum) {
+  // Short SplitMix chain over the decision coordinates, FaultPlan::roll
+  // style: equal coordinates always produce equal rolls.
+  std::uint64_t x = seed ^ 0xabc1'0b1e'c75ull;
+  x = util::splitmix64(x);
+  x ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(node));
+  x = util::splitmix64(x);
+  x ^= quantum;
+  return util::splitmix64(x);
+}
+
+std::optional<ShedDecision> decide_shed(
+    const MigrationConfig& cfg, std::int32_t node, std::uint64_t quantum,
+    std::uint32_t depth,
+    const std::vector<std::pair<std::int32_t, std::uint32_t>>&
+        neighbor_loads) {
+  if (!cfg.enabled || depth < cfg.min_queue) return std::nullopt;
+  if (neighbor_loads.empty()) return std::nullopt;
+
+  // Lower median of the fresh neighbour loads: with the torus' four
+  // neighbours that is the second-smallest sample, a robust "what does my
+  // neighbourhood look like" figure that one overloaded peer cannot drag
+  // up past the shedder's own depth.
+  std::vector<std::uint32_t> loads;
+  loads.reserve(neighbor_loads.size());
+  for (const auto& [peer, load] : neighbor_loads) loads.push_back(load);
+  std::sort(loads.begin(), loads.end());
+  const std::uint32_t median = loads[(loads.size() - 1) / 2];
+
+  if (depth <= median ||
+      depth - median <= cfg.hysteresis) {  // inside the hysteresis band
+    return std::nullopt;
+  }
+  const std::uint32_t quota =
+      std::min<std::uint32_t>(cfg.max_batch, (depth - median) / 2);
+  if (quota == 0) return std::nullopt;
+
+  // Target: the least-loaded neighbour that is strictly below our depth.
+  // Ties broken by the seeded roll so a symmetric neighbourhood does not
+  // always dump on the lowest node id (which would re-create the hot spot
+  // one hop over).
+  std::uint32_t best = ~std::uint32_t{0};
+  for (const auto& [peer, load] : neighbor_loads) {
+    if (load < depth && load < best) best = load;
+  }
+  if (best == ~std::uint32_t{0}) return std::nullopt;
+  std::vector<std::int32_t> ties;
+  for (const auto& [peer, load] : neighbor_loads) {
+    if (load == best) ties.push_back(peer);
+  }
+  const std::uint64_t r = shed_roll(cfg.seed, node, quantum);
+  ShedDecision d;
+  d.target = ties[static_cast<std::size_t>(r % ties.size())];
+  d.quota = quota;
+  return d;
+}
+
+}  // namespace abcl::remote

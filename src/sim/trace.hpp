@@ -32,6 +32,9 @@ enum class TraceEv : std::uint8_t {
   kCreate,       // an object was created here      (payload: class id)
   kFaultDup,     // duplicate copy suppressed       (payload: handler id)
   kFaultRetry,   // retransmitted packet dispatched (payload: attempt index)
+  kMigrateOut,   // an object was shed from here    (payload: target node)
+  kMigrateIn,    // a migrated object attached here (payload: source node)
+  kForward,      // a stub bounced a message        (payload: pattern id)
 };
 
 inline const char* to_string(TraceEv e) {
@@ -44,6 +47,9 @@ inline const char* to_string(TraceEv e) {
     case TraceEv::kCreate: return "create";
     case TraceEv::kFaultDup: return "fault-dup";
     case TraceEv::kFaultRetry: return "fault-retry";
+    case TraceEv::kMigrateOut: return "migrate-out";
+    case TraceEv::kMigrateIn: return "migrate-in";
+    case TraceEv::kForward: return "forward";
   }
   return "?";
 }

@@ -9,6 +9,8 @@
 #include <tuple>
 
 #include "abcl/abcl.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/program_gen.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
@@ -314,6 +316,46 @@ TEST(NetworkFaults, DisabledConfigLeavesStatsUntouched) {
   const net::FaultStats fs = net.fault_stats();
   EXPECT_EQ(fs.attempts, 0u);
   EXPECT_EQ(fs.delivered, 0u);
+}
+
+// ------------------------------------------- migration x faults regime -----
+
+// Live migration racing a lossy, duplicating, reordering wire: the full
+// oracle (cross-driver byte-identity at 1/2/8 threads, exactly-once
+// delivery, migration conservation, quiescence probes that follow
+// forwarding stubs) must hold with BOTH blocks enabled. Migration packets —
+// state fragments, kMigrateDone, kUpdateAddr, flush markers — ride the same
+// hardened channels as object mail, so a dropped Done or a duplicated
+// fragment is just more deterministic schedule, never a lost object.
+TEST(MigrationUnderFaults, OracleHoldsWithBothPlansEnabled) {
+  net::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop_ppm = 80'000;   // 8% loss
+  fc.dup_ppm = 40'000;    // 4% duplication
+  fc.delay_ppm = 80'000;  // 8% reorder-delay
+  fc.seed = 17;
+  abcl::remote::MigrationConfig mc;
+  mc.enabled = true;
+  mc.interval = 8;
+  mc.hysteresis = 1;
+  mc.max_batch = 4;
+  mc.min_queue = 2;
+  mc.seed = 5;
+  std::uint64_t migrated = 0;
+  // Shedding is rare under fire (fault delays keep run queues shallow), so
+  // sweep enough seeds that several genuinely migrate; the final EXPECT_GT
+  // keeps this from silently degrading into a migration-free regime.
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::Spec spec = fuzz::generate(seed);
+    spec.faults = fc;
+    spec.migration = mc;
+    fuzz::OracleResult r = fuzz::check_spec(spec);
+    EXPECT_TRUE(r.ok) << r.failure;
+    migrated += r.serial.migrations_out;
+    EXPECT_EQ(r.serial.migrations_out, r.serial.migrations_in);
+  }
+  EXPECT_GT(migrated, 0u);  // the regime really migrated under fire
 }
 
 // --------------------------------------------------- ABCLSIM_FAULTS env -----

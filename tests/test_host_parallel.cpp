@@ -353,6 +353,47 @@ TEST(FlushAndQueueAblations, ByteIdenticalOnFuzzCorpus) {
   }
 }
 
+// Tentpole acceptance: a seeded shedding policy must be bit-identical
+// between the serial driver and every thread count over the whole fuzz
+// corpus — migration schedules, forwarding counters, metrics_json and the
+// trace fingerprint are all simulated state. The overlay forces migration
+// onto every generated spec (aggressive knobs so shedding really fires on
+// the multi-node specs); run_spec/expect_run_identical then check the
+// 1/2/8-thread runs against serial, including the migration counters.
+TEST(MigrationCrossDriver, ByteIdenticalOnFuzzCorpus) {
+  const sim::CostModel cost = sim::CostModel::ap1000();
+  remote::MigrationConfig mc;
+  mc.enabled = true;
+  mc.interval = 8;
+  mc.hysteresis = 1;
+  mc.max_batch = 4;
+  mc.min_queue = 2;
+  mc.seed = 5;
+  std::uint64_t specs_that_migrated = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::Spec spec = fuzz::generate(seed);
+    spec.migration = mc;
+    fuzz::RunResult base = fuzz::run_spec(spec, kSerial, cost);
+    EXPECT_EQ(base.migrations_out, base.migrations_in);  // conservation
+    specs_that_migrated += base.migrations_out > 0;
+    for (int t : kThreadCounts) {
+      fuzz::RunResult par = fuzz::run_spec(spec, t, cost);
+      SCOPED_TRACE("threads=" + std::to_string(t));
+      EXPECT_EQ(par.migrations_out, base.migrations_out);
+      EXPECT_EQ(par.migrations_in, base.migrations_in);
+      EXPECT_EQ(par.migration_mail, base.migration_mail);
+      EXPECT_EQ(par.migration_forwards, base.migration_forwards);
+      EXPECT_EQ(par.migration_updates, base.migration_updates);
+      EXPECT_EQ(par.migration_holds, base.migration_holds);
+      expect_run_identical(base, par, "migration overlay");
+    }
+  }
+  // The corpus must really exercise the machinery, or the identity above
+  // is vacuous.
+  EXPECT_GT(specs_that_migrated, 0u);
+}
+
 TEST(HostThreads, EnvVariableSelectsDriver) {
   core::Program prog;
   apps::register_pingpong(prog);

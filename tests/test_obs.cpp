@@ -376,8 +376,19 @@ TEST(MergeCoverage, NodeStatsMergesEveryField) {
       &a.remote_recv, &a.replies_sent, &a.blocks_await, &a.blocks_select,
       &a.yields, &a.resumes, &a.await_fast_hits, &a.creations_local,
       &a.creations_remote, &a.chunk_stock_hits, &a.chunk_stock_misses,
-      &a.sched_enqueues, &a.sched_dispatches, &a.busy_instr, &a.idle_instr};
+      &a.sched_enqueues, &a.sched_dispatches, &a.migrations_out,
+      &a.migrations_in, &a.migration_mail, &a.migration_forwards,
+      &a.migration_updates, &a.migration_holds, &a.busy_instr, &a.idle_instr};
   constexpr std::size_t kScalars = sizeof(scalars) / sizeof(scalars[0]);
+  // Negative compile-time guard, paired with the sizeof static_assert in
+  // scheduler.cpp's merge(): if NodeStats gains a scalar counter and this
+  // list is not extended, the build fails here instead of the runtime loop
+  // below passing vacuously over the stale list.
+  static_assert(kScalars * sizeof(std::uint64_t) +
+                        sizeof(core::NodeStats::msg_latency) +
+                        sizeof(core::NodeStats::sched_depth) ==
+                    sizeof(core::NodeStats),
+                "NodeStats gained a field this coverage list does not name");
   for (std::size_t i = 0; i < kScalars; ++i) {
     *scalars[i] = i + 1;
   }
@@ -395,7 +406,9 @@ TEST(MergeCoverage, NodeStatsMergesEveryField) {
       &m.remote_recv, &m.replies_sent, &m.blocks_await, &m.blocks_select,
       &m.yields, &m.resumes, &m.await_fast_hits, &m.creations_local,
       &m.creations_remote, &m.chunk_stock_hits, &m.chunk_stock_misses,
-      &m.sched_enqueues, &m.sched_dispatches, &m.busy_instr, &m.idle_instr};
+      &m.sched_enqueues, &m.sched_dispatches, &m.migrations_out,
+      &m.migrations_in, &m.migration_mail, &m.migration_forwards,
+      &m.migration_updates, &m.migration_holds, &m.busy_instr, &m.idle_instr};
   for (std::size_t i = 0; i < kScalars; ++i) {
     EXPECT_EQ(*merged[i], 2 * (i + 1)) << "scalar field index " << i;
   }
@@ -406,6 +419,12 @@ TEST(MergeCoverage, NodeStatsMergesEveryField) {
 }
 
 TEST(MergeCoverage, NetworkStatsMergesEveryField) {
+  // Same negative guard for the network-side merge (see network.cpp).
+  static_assert(3 * sizeof(std::uint64_t) +
+                        sizeof(net::Network::Stats::per_category) +
+                        sizeof(net::Network::Stats::wire_latency_instr) ==
+                    sizeof(net::Network::Stats),
+                "Network::Stats gained a field this coverage list misses");
   net::Network::Stats a;
   a.packets = 1;
   a.payload_words = 2;
