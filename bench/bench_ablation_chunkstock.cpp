@@ -62,7 +62,7 @@ Result run_burst(int seed_depth, int count, bool replenish = true) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   cfg.node.disable_replenish = !replenish;
   World world(prog, cfg);
   if (seed_depth > 0) world.seed_stocks(*cp.cls, seed_depth);

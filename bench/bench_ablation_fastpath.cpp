@@ -20,7 +20,7 @@ double run_finegrain_us(const sim::OptFlags& opt) {
   auto pp = apps::register_pingpong(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.cost.opt = opt;
   World world(prog, cfg);
   return apps::run_pingpong(world, pp, 0, 0, 50000).us_per_message;
@@ -31,7 +31,7 @@ double run_with(const sim::OptFlags& opt) {
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 16;
+  cfg.with_nodes(16);
   cfg.cost.opt = opt;
   World world(prog, cfg);
   auto p = apps::NQueensParams::paper_calibrated(10);

@@ -30,7 +30,7 @@ void print_modeled() {
   Env env;
   bench::header("Ablation B: inlined sends (Section 8.2), modeled cost");
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   util::Table t({"Variant", "Instr/send", "us/send"});
   world.boot(0, [&](Ctx& ctx) {
@@ -70,7 +70,7 @@ void print_modeled() {
 void BM_FullDispatch(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
@@ -83,7 +83,7 @@ BENCHMARK(BM_FullDispatch);
 void BM_GuardedInline(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);

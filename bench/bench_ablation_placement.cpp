@@ -27,8 +27,8 @@ Row run_with(remote::PlacementKind kind, int nodes, int n) {
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.placement = kind;
+  cfg.with_nodes(nodes);
+  cfg.with_placement(kind);
   if (kind == remote::PlacementKind::kLeastLoaded) {
     cfg.node.gossip_interval = 8;  // the policy is blind without the service
   }

@@ -1,0 +1,109 @@
+// Checkpoint/restore cost characterization: snapshot size and capture /
+// restore wall time for the Figure-5 N-queens workload across machine
+// sizes, plus the correctness cross-checks a cost table is worthless
+// without (the restored run must finish with the baseline's solutions,
+// sim_time and cumulative quanta — address-faithful restore means even the
+// host-side latch MailAddr captured at boot stays valid afterwards).
+//
+// Plain CLI (no google-benchmark): wall-clock here is descriptive, not a
+// CI gate. EXPERIMENTS.md carries a sample table produced by this tool.
+//
+//   bench_ckpt [n]      board size (default 8)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "apps/nqueens.hpp"
+#include "ckpt/snapshot.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace abcl;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The boot half of apps::run_nqueens, split out so the run can be stopped
+// at a checkpoint boundary between the boot and the finish.
+MailAddr boot_nqueens(World& world, const apps::NQueensProgram& np,
+                      const apps::NQueensParams& p) {
+  MailAddr latch;
+  world.boot(0, [&](Ctx& ctx) {
+    latch = ctx.create_local(*np.latch.cls, {});
+    ctx.send_past(latch, np.latch.expect, {1});
+    Word work = (static_cast<Word>(p.charge_base) << 16) |
+                static_cast<Word>(p.charge_per_col);
+    Word args[9] = {latch.word_node(), latch.word_ptr(), np.latch.done,
+                    np.done,           static_cast<Word>(p.n) << 8,
+                    0,                 0,
+                    0,                 work};
+    MailAddr root = ctx.create_local(*np.node_cls, args, 9);
+    ctx.send_past(root, np.go, nullptr, 0);
+  });
+  return latch;
+}
+
+void measure(int nodes, int board_n) {
+  core::Program prog;
+  apps::NQueensProgram np = apps::register_nqueens(prog);
+  prog.finalize();
+  apps::NQueensParams p;
+  p.n = board_n;
+
+  // Uninterrupted baseline: target for every identity below.
+  WorldConfig base_cfg = WorldConfig{}.with_nodes(nodes);
+  World base(prog, base_cfg);
+  MailAddr base_latch = boot_nqueens(base, np, p);
+  RunReport base_rep = base.run();
+  const std::int64_t base_solutions = latch_state(base_latch).total;
+
+  // Checkpointed run: stop at the midpoint boundary, capture, destroy,
+  // restore, finish.
+  ckpt::CheckpointConfig ck;
+  ck.enabled = true;
+  ck.at = base_rep.sim_time / 2 + 1;
+  auto world = std::make_unique<World>(
+      prog, WorldConfig{}.with_nodes(nodes).with_ckpt(ck));
+  MailAddr latch = boot_nqueens(*world, np, p);
+  RunReport r1 = world->run();
+
+  auto t0 = std::chrono::steady_clock::now();
+  ckpt::MemSink sink;
+  world->checkpoint(sink);
+  const double capture_ms = ms_since(t0);
+  const std::size_t bytes = sink.bytes().size();
+
+  world.reset();  // restore re-maps the arenas at their recorded bases
+  t0 = std::chrono::steady_clock::now();
+  ckpt::MemSource src(sink.take());
+  std::unique_ptr<World> restored = World::restore(prog, src);
+  const double restore_ms = ms_since(t0);
+  RunReport r2 = restored->run();
+
+  const std::int64_t solutions = latch_state(latch).total;
+  const bool ok = solutions == base_solutions &&
+                  r2.sim_time == base_rep.sim_time &&
+                  restored->resumed_quanta() + r2.quanta == base_rep.quanta &&
+                  r1.quanta == restored->resumed_quanta();
+  std::printf("| %5d | %8llu | %10zu | %10.2f | %10.2f | %s |\n", nodes,
+              static_cast<unsigned long long>(base_rep.quanta), bytes,
+              capture_ms, restore_ms, ok ? "ok" : "MISMATCH");
+  if (!ok) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int board_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::printf("N-queens n=%d, checkpoint at sim_time/2, serial driver\n\n",
+              board_n);
+  std::printf("| nodes | quanta   | snap bytes | capture ms | restore ms | eq |\n");
+  std::printf("|------:|---------:|-----------:|-----------:|-----------:|----|\n");
+  for (int nodes : {16, 64, 256}) measure(nodes, board_n);
+  return 0;
+}

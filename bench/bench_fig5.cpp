@@ -32,7 +32,7 @@ void run_series(int n) {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = nodes;
+    cfg.with_nodes(nodes);
     World world(prog, cfg);
     auto r = apps::run_nqueens(world, np, p);
     double speedup = static_cast<double>(seq.charged) /

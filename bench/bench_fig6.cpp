@@ -26,7 +26,7 @@ Row measure(int n, int nodes) {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = nodes;
+    cfg.with_nodes(nodes);
     cfg.node.policy =
         naive ? core::SchedPolicy::kNaive : core::SchedPolicy::kStack;
     World world(prog, cfg);

@@ -63,8 +63,8 @@ Sample run_once(int nodes, int host_threads, const apps::NQueensParams& p,
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.host_threads = host_threads == 0 ? -1 : host_threads;
+  cfg.with_nodes(nodes);
+  cfg.with_host_threads(host_threads == 0 ? -1 : host_threads);
   World world(prog, cfg);
 
   auto t0 = std::chrono::steady_clock::now();
@@ -131,8 +131,8 @@ MigSample run_hotspot(int host_threads) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = kMigNodes;
-  cfg.host_threads = host_threads;
+  cfg.with_nodes(kMigNodes);
+  cfg.with_host_threads(host_threads);
   remote::MigrationConfig mc;
   mc.enabled = true;
   mc.interval = 8;
@@ -140,7 +140,7 @@ MigSample run_hotspot(int host_threads) {
   mc.max_batch = 4;
   mc.min_queue = 6;
   mc.seed = 5;
-  cfg.migration = mc;
+  cfg.with_migration(mc);
   World world(prog, cfg);
 
   std::vector<MailAddr> actors;

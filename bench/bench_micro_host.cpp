@@ -251,8 +251,8 @@ struct Env {
 void BM_DormantDispatch(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
-  cfg.cost = sim::CostModel::zero();  // isolate host cost from model math
+  cfg.with_nodes(1);
+  cfg.with_cost(sim::CostModel::zero());  // isolate host cost from model math
   World world(env.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
@@ -265,7 +265,7 @@ BENCHMARK(BM_DormantDispatch);
 void BM_ActivePathPerMessage(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   MailAddr c;
   world.boot(0, [&](Ctx& ctx) {
@@ -291,7 +291,7 @@ void BM_MachineQuantumOverhead(benchmark::State& state) {
   // Pure driver cost: a world whose only work is self-refilling noops.
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 16;
+  cfg.with_nodes(16);
   World world(env.prog, cfg);
   std::vector<MailAddr> cs(16);
   for (NodeId nid = 0; nid < 16; ++nid) {

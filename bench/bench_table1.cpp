@@ -34,7 +34,7 @@ struct Env {
 // Modeled cost of one intra-node send to a *dormant* object.
 double measure_dormant_us(Env& env, int iters) {
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   double out = 0;
   world.boot(0, [&](Ctx& ctx) {
@@ -53,7 +53,7 @@ double measure_dormant_us(Env& env, int iters) {
 // trip.
 double measure_active_us(Env& env, int iters) {
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   MailAddr c;
   world.boot(0, [&](Ctx& ctx) {
@@ -73,7 +73,7 @@ double measure_active_us(Env& env, int iters) {
 
 double measure_create_us(Env& env, int iters) {
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   double out = 0;
   world.boot(0, [&](Ctx& ctx) {
@@ -86,7 +86,7 @@ double measure_create_us(Env& env, int iters) {
 
 double measure_internode_us(Env& env, int rounds) {
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(env.prog, cfg);
   auto r = apps::run_pingpong(world, env.pp, 0, 1, static_cast<std::uint64_t>(rounds));
   return r.us_per_message;
@@ -112,7 +112,7 @@ void print_table1() {
 void BM_IntraNodeDormantSend(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
@@ -127,7 +127,7 @@ BENCHMARK(BM_IntraNodeDormantSend);
 void BM_IntraNodeCreate(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     for (auto _ : state) {
@@ -140,7 +140,7 @@ BENCHMARK(BM_IntraNodeCreate);
 void BM_LocalNowCallFastPath(benchmark::State& state) {
   Env env;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(env.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*env.cp.cls, nullptr, 0);
@@ -161,7 +161,7 @@ void BM_InterNodePingPong(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     WorldConfig cfg;
-    cfg.nodes = 2;
+    cfg.with_nodes(2);
     World world(env.prog, cfg);
     state.ResumeTiming();
     auto r = apps::run_pingpong(world, env.pp, 0, 1, 5000);

@@ -28,8 +28,8 @@ sim::Instr measured_send_cost(const sim::CostModel& cost) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
-  cfg.cost = cost;
+  cfg.with_nodes(1);
+  cfg.with_cost(cost);
   World world(prog, cfg);
   sim::Instr out = 0;
   world.boot(0, [&](Ctx& ctx) {
@@ -95,7 +95,7 @@ void BM_DormantSendBaseline(benchmark::State& state) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*cp.cls, nullptr, 0);

@@ -64,7 +64,7 @@ RoundTrip measure_roundtrip(int nodes, NodeId a, NodeId b, int iters) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = nodes;
+  cfg.with_nodes(nodes);
   World world(prog, cfg);
   MailAddr c;
   world.boot(b, [&](Ctx& ctx) {

@@ -32,7 +32,7 @@ void print_table4() {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 64;
+    cfg.with_nodes(64);
     World world(prog, cfg);
     auto p = apps::NQueensParams::paper_calibrated(n);
     auto r = apps::run_nqueens(world, np, p);
@@ -71,7 +71,7 @@ void BM_NQueensActorHost(benchmark::State& state) {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 16;
+    cfg.with_nodes(16);
     World world(prog, cfg);
     apps::NQueensParams p;
     p.n = n;

@@ -18,6 +18,13 @@
 // way; "--migration off" strips it. The two overlays compose, so
 // `--sweep N --faults ... --migration ...` is the migration×faults regime.
 //
+// --ckpt switches every mode from the differential oracle (check_spec) to
+// the snapshot-equivalence oracle (check_spec_checkpoint): each spec is run
+// uninterrupted, then checkpointed mid-run, destroyed, restored (including
+// cross-driver) and crash-recovered, and every variant must be
+// byte-identical to the baseline. CI's checkpoint-matrix job runs
+// `--sweep N --ckpt` plain and under the faults+migration overlays.
+//
 // Exit status: 0 = all checks passed, 1 = oracle failure, 2 = usage/I/O
 // error. CI runs `--sweep` as the extended fuzz job; developers replay
 // artifacts with `--spec`.
@@ -44,7 +51,7 @@ int usage() {
                "       fuzz_repro --spec FILE\n"
                "       fuzz_repro --shrink FILE --out FILE\n"
                "       fuzz_repro --sweep N [--artifact-dir D]\n"
-               "       (any mode) --faults SPEC --migration SPEC\n");
+               "       (any mode) --faults SPEC --migration SPEC --ckpt\n");
   return 2;
 }
 
@@ -77,10 +84,18 @@ void overlay(fuzz::Spec& s) {
   overlay_migration(s);
 }
 
-bool oracle_fails(const fuzz::Spec& s) { return !fuzz::check_spec(s).ok; }
+// Set by --ckpt: run the snapshot-equivalence oracle instead of the plain
+// differential one.
+bool g_ckpt = false;
+
+fuzz::OracleResult run_oracle(const fuzz::Spec& s) {
+  return g_ckpt ? fuzz::check_spec_checkpoint(s) : fuzz::check_spec(s);
+}
+
+bool oracle_fails(const fuzz::Spec& s) { return !run_oracle(s).ok; }
 
 int check_and_report(const fuzz::Spec& spec, const std::string& label) {
-  fuzz::OracleResult r = fuzz::check_spec(spec);
+  fuzz::OracleResult r = run_oracle(spec);
   if (r.ok) {
     std::printf("%s: OK (%zu actions, %u steps, sim_time %llu)\n",
                 label.c_str(), spec.total_actions(),
@@ -150,6 +165,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--migration: %s\n", err.c_str());
         return 2;
       }
+    } else if (a == "--ckpt") {
+      g_ckpt = true;
     } else {
       return usage();
     }
@@ -201,7 +218,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t seed = 1; seed <= n; ++seed) {
     fuzz::Spec spec = fuzz::generate(seed);
     overlay(spec);
-    fuzz::OracleResult r = fuzz::check_spec(spec);
+    fuzz::OracleResult r = run_oracle(spec);
     if (r.ok) continue;
     ++failures;
     std::printf("seed %llu: FAIL — %s\n",

@@ -5,6 +5,7 @@
 
 #include "sim/parallel_machine.hpp"
 #include "util/assert.hpp"
+#include "util/spec_parser.hpp"
 
 namespace abcl {
 
@@ -21,42 +22,39 @@ int resolve_host_threads(int configured) {
   return *v;
 }
 
-// ABCLSIM_POOLING follows the same strictness discipline as
+// The single-word env knobs all route through util::parse_choice /
+// util::choice_error, following the same strictness discipline as
 // ABCLSIM_HOST_THREADS: a typo aborts instead of silently picking a mode.
 bool parse_pooling_env(const char* text) {
   if (text == nullptr || *text == '\0') return true;  // unset: pooled
-  const std::string s = text;
-  if (s == "1" || s == "true" || s == "on") return true;
-  if (s == "0" || s == "false" || s == "off") return false;
-  ABCL_CHECK_MSG(false, ("ABCLSIM_POOLING=\"" + s +
-                         "\": expected 1/true/on or 0/false/off, or unset "
-                         "for pooled allocation")
-                            .c_str());
-  return true;
+  std::optional<std::size_t> i =
+      util::parse_choice(text, {"1", "true", "on", "0", "false", "off"});
+  ABCL_CHECK_MSG(i.has_value(),
+                 util::choice_error("ABCLSIM_POOLING", text,
+                                    "1/true/on or 0/false/off",
+                                    "pooled allocation")
+                     .c_str());
+  return *i < 3;
 }
 
 util::QueueKind parse_queue_env(const char* text) {
   if (text == nullptr || *text == '\0') return util::QueueKind::kBucket;
-  const std::string s = text;
-  if (s == "bucket") return util::QueueKind::kBucket;
-  if (s == "heap") return util::QueueKind::kHeap;
-  ABCL_CHECK_MSG(false, ("ABCLSIM_QUEUE=\"" + s +
-                         "\": expected bucket or heap, or unset for the "
-                         "bucketed time queue")
-                            .c_str());
-  return util::QueueKind::kBucket;
+  std::optional<std::size_t> i = util::parse_choice(text, {"bucket", "heap"});
+  ABCL_CHECK_MSG(i.has_value(),
+                 util::choice_error("ABCLSIM_QUEUE", text, "bucket or heap",
+                                    "the bucketed time queue")
+                     .c_str());
+  return *i == 0 ? util::QueueKind::kBucket : util::QueueKind::kHeap;
 }
 
 net::FlushKind parse_flush_env(const char* text) {
   if (text == nullptr || *text == '\0') return net::FlushKind::kMerge;
-  const std::string s = text;
-  if (s == "merge") return net::FlushKind::kMerge;
-  if (s == "sort") return net::FlushKind::kSort;
-  ABCL_CHECK_MSG(false, ("ABCLSIM_FLUSH=\"" + s +
-                         "\": expected merge or sort, or unset for the "
-                         "k-way merge commit path")
-                            .c_str());
-  return net::FlushKind::kMerge;
+  std::optional<std::size_t> i = util::parse_choice(text, {"merge", "sort"});
+  ABCL_CHECK_MSG(i.has_value(),
+                 util::choice_error("ABCLSIM_FLUSH", text, "merge or sort",
+                                    "the k-way merge commit path")
+                     .c_str());
+  return *i == 0 ? net::FlushKind::kMerge : net::FlushKind::kSort;
 }
 
 }  // namespace
@@ -83,7 +81,21 @@ WorldConfig WorldConfig::from_env() {
       remote::parse_migration_spec(std::getenv("ABCLSIM_MIGRATION"), &err);
   ABCL_CHECK_MSG(mig.has_value(), ("ABCLSIM_MIGRATION " + err).c_str());
   cfg.migration = *mig;
+  err.clear();
+  std::optional<ckpt::CheckpointConfig> ck =
+      ckpt::parse_checkpoint_spec(std::getenv("ABCLSIM_CHECKPOINT"), &err);
+  ABCL_CHECK_MSG(ck.has_value(), ("ABCLSIM_CHECKPOINT " + err).c_str());
+  cfg.ckpt = *ck;
   return cfg;
+}
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kQuiesced: return "quiesced";
+    case StopReason::kMaxTime: return "max_time";
+    case StopReason::kCheckpointRequested: return "checkpoint_requested";
+  }
+  return "?";
 }
 
 std::optional<int> parse_host_threads(const char* text, std::string* err) {
@@ -127,7 +139,13 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
     std::string merr;
     ABCL_CHECK_MSG(remote::validate_migration_config(cfg_.migration, &merr),
                    merr.c_str());
+    ABCL_CHECK_MSG(ckpt::validate_checkpoint_config(cfg_.ckpt, &merr),
+                   merr.c_str());
   }
+  // Checkpointable heaps are reserved-arena slab heaps; the unpooled
+  // ablation allocates from the general heap, which cannot be imaged.
+  ABCL_CHECK_MSG(!cfg_.ckpt.enabled || cfg_.pooling,
+                 "checkpointing requires pooling (reserved node arenas)");
 
   nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
@@ -140,11 +158,18 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
     if (nc.migration.enabled && nc.gossip_interval == 0) {
       nc.gossip_interval = nc.migration.interval;
     }
+    // Checkpointable worlds pin every node heap at a fixed virtual base so
+    // a snapshot can be restored address-faithfully (util/arena.hpp).
+    nc.reserved_arena = cfg_.ckpt.enabled;
     auto rt = std::make_unique<core::NodeRuntime>(i, prog, *net_, cfg_.cost, nc);
     rt->placement().set_kind(cfg_.placement);
     nodes_.push_back(std::move(rt));
   }
 
+  build_machine();
+}
+
+void World::build_machine() {
   std::vector<sim::NodeExec*> execs;
   execs.reserve(nodes_.size());
   for (auto& n : nodes_) execs.push_back(n.get());
@@ -163,6 +188,14 @@ World::World(core::Program& prog, WorldConfig cfg) : cfg_(cfg), prog_(&prog) {
       [m = machine_.get()](core::NodeId dst) { m->notify_work(dst); });
 }
 
+bool World::work_remaining() const {
+  if (net_->in_flight() > 0) return true;
+  for (const auto& n : nodes_) {
+    if (n->runnable()) return true;
+  }
+  return false;
+}
+
 void World::boot(core::NodeId id,
                  const std::function<void(core::NodeRuntime&)>& fn) {
   ABCL_CHECK(id >= 0 && id < cfg_.nodes);
@@ -170,11 +203,45 @@ void World::boot(core::NodeId id,
 }
 
 RunReport World::run(sim::Instr max_time) {
-  sim::Driver::RunReport r = machine_->run(max_time);
+  // A pending checkpoint boundary strictly before the caller's horizon
+  // shortens the first driver leg; the snapshot fires once, then later
+  // run() calls proceed to the caller's own limit (drivers are resumable).
+  const ckpt::CheckpointConfig& ck = cfg_.ckpt;
+  const bool stop_for_ckpt = ck.enabled && !ckpt_taken_ && ck.at < max_time;
+  sim::Driver::RunReport r = machine_->run(stop_for_ckpt ? ck.at : max_time);
+  quanta_total_ += r.quanta;
+
   RunReport out;
-  out.sim_time = r.end_time;
   out.quanta = r.quanta;
+
+  bool at_ckpt_boundary = false;
+  if (stop_for_ckpt) {
+    ckpt_taken_ = true;
+    if (ck.path.empty()) {
+      // Caller-driven capture: hand control back at the boundary.
+      at_ckpt_boundary = true;
+    } else {
+      // File checkpoints are fire-and-forget: write the snapshot at the
+      // boundary, then resume to the caller's horizon inside this same
+      // call — so ABCLSIM_CHECKPOINT=at=T,path=F is transparent to
+      // checkpoint-unaware programs (identical results, plus a snapshot).
+      ckpt::FileSink sink(ck.path);
+      checkpoint(sink);
+      r = machine_->run(max_time);
+      quanta_total_ += r.quanta;
+      out.quanta += r.quanta;
+    }
+  }
+
+  out.sim_time = r.end_time;
   out.sim_ms = cfg_.cost.ms(r.end_time);
+  if (at_ckpt_boundary) {
+    out.stop_reason = work_remaining() ? StopReason::kCheckpointRequested
+                                       : StopReason::kQuiesced;
+  } else {
+    out.stop_reason =
+        work_remaining() ? StopReason::kMaxTime : StopReason::kQuiesced;
+  }
   return out;
 }
 

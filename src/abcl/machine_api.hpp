@@ -12,11 +12,16 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "core/node_runtime.hpp"
 #include "net/network.hpp"
 #include "sim/machine.hpp"
 #include "sim/trace.hpp"
 #include "util/table.hpp"
+
+namespace abcl::ckpt {
+struct WorldIo;
+}
 
 namespace abcl {
 
@@ -65,6 +70,17 @@ struct WorldConfig {
   // and gossip is off, World auto-enables gossip at the shed interval (the
   // policy needs neighbour loads).
   remote::MigrationConfig migration;
+  // Deterministic checkpoint capture; see ckpt/snapshot.hpp. Disabled by
+  // default. When enabled with a `path`, run() writes the snapshot file at
+  // the `at` boundary and resumes in the same call (fire-and-forget:
+  // transparent to checkpoint-unaware programs). With an empty `path`,
+  // run() hands control back at the boundary with
+  // StopReason::kCheckpointRequested so the caller captures via
+  // World::checkpoint. Either way node heaps are placed in fixed-base
+  // reserved arenas so a restored world is address-faithful. Requires
+  // pooling (the reserved-arena heap). Set via with_ckpt(), or
+  // ABCLSIM_CHECKPOINT through from_env().
+  ckpt::CheckpointConfig ckpt;
 
   // Builds a config with every environment-controlled knob resolved here,
   // once, strictly: ABCLSIM_HOST_THREADS (see parse_host_threads; unset ->
@@ -105,6 +121,10 @@ struct WorldConfig {
     migration = m;
     return *this;
   }
+  WorldConfig& with_ckpt(const ckpt::CheckpointConfig& c) {
+    ckpt = c;
+    return *this;
+  }
 };
 
 // Strict parser behind ABCLSIM_HOST_THREADS. nullptr/empty -> 0 (serial);
@@ -114,10 +134,21 @@ struct WorldConfig {
 // instead of quietly running serial.
 std::optional<int> parse_host_threads(const char* text, std::string* err);
 
+// Why a run() call returned: the world drained (quiesced), the caller's
+// max_time arrived with work still pending, or the configured caller-driven
+// checkpoint boundary stopped it (work still pending — capture with
+// World::checkpoint, then resume with another run(), or restore elsewhere;
+// path-configured file checkpoints resume internally and never surface
+// this reason).
+enum class StopReason { kQuiesced, kMaxTime, kCheckpointRequested };
+
+const char* to_string(StopReason r);
+
 struct RunReport {
   sim::Instr sim_time = 0;       // end-of-run instant (max node clock)
   std::uint64_t quanta = 0;      // scheduling quanta executed
   double sim_ms = 0.0;           // sim_time at the model's clock rate
+  StopReason stop_reason = StopReason::kQuiesced;
 };
 
 class World {
@@ -155,6 +186,32 @@ class World {
   // Attaches an execution tracer to every node (nullptr detaches).
   void attach_tracer(sim::Tracer* tracer);
 
+  // Serializes the whole world into `sink` (see ckpt/snapshot.hpp for the
+  // format and its same-process contract). Only legal between run() calls —
+  // a quantum boundary — and only on a world built with checkpointing
+  // enabled (reserved arenas).
+  void checkpoint(ckpt::Sink& sink) const;
+
+  // Rebuilds a world from a snapshot taken by checkpoint(). `prog` must be
+  // the same finalized Program the snapshot was captured under (validated
+  // via a fingerprint). The checkpointed world must have been destroyed
+  // first: restore re-maps the node arenas at their original fixed bases.
+  // host_threads_override: 0 = keep the snapshot's driver configuration;
+  // otherwise same semantics as WorldConfig::host_threads (results are
+  // bit-identical either way).
+  static std::unique_ptr<World> restore(core::Program& prog,
+                                        ckpt::Source& src,
+                                        int host_threads_override = 0);
+
+  // Quanta executed before the snapshot this world was restored from (0 for
+  // a world built normally). run() reports only quanta it ran itself;
+  // resumed_quanta() + sum of reports = the uninterrupted run's quanta.
+  std::uint64_t resumed_quanta() const { return resumed_quanta_; }
+
+  // True while any node is runnable or any packet is in flight — i.e. a
+  // further run() would make progress.
+  bool work_remaining() const;
+
   // Per-node utilization summary (busy vs idle instructions) as a printable
   // table, plus machine-wide figures — useful after any run.
   util::Table utilization_table() const;
@@ -169,12 +226,26 @@ class World {
   sim::Instr max_clock() const;
 
  private:
+  friend struct ckpt::WorldIo;
+
+  // Restore path: members are filled in by ckpt::WorldIo, not the normal
+  // constructor.
+  struct RestoreTag {};
+  World(RestoreTag, core::Program& prog) : prog_(&prog) {}
+
+  // (Re)builds the driver from cfg_.host_threads and wires the network's
+  // deliverable callback to it. Shared by the constructor and restore.
+  void build_machine();
+
   WorldConfig cfg_;
   core::Program* prog_;
   std::unique_ptr<net::Network> net_;
   std::vector<std::unique_ptr<core::NodeRuntime>> nodes_;
   std::unique_ptr<sim::Driver> machine_;
   int host_threads_ = 1;
+  std::uint64_t quanta_total_ = 0;    // cumulative across run() calls
+  std::uint64_t resumed_quanta_ = 0;  // quanta before the restored snapshot
+  bool ckpt_taken_ = false;           // the cfg_.ckpt boundary already fired
 };
 
 }  // namespace abcl

@@ -1,0 +1,618 @@
+// WorldIo: the checkpoint serializer (the friend the runtime headers
+// forward-declare).
+//
+// Capture happens only between driver runs — a quantum boundary — where the
+// world is a pure function of simulated history: no worker outboxes, no
+// mid-quantum dispatch state, no half-advanced windows. The snapshot then
+// decomposes into
+//   (a) raw arena images: each node heap lives in a fixed-base reserved
+//       arena (util/arena.hpp), so objects, frames, reply boxes, chunks and
+//       every pointer among them are restored verbatim by re-mapping the
+//       arena at its recorded base and memcpy-ing the image back; and
+//   (b) a logical serialization of everything that lives outside the
+//       arenas: node scalars and stats, the scheduler FIFO (relinked in
+//       saved order), slab freelist heads, chunk stocks, gossip maps,
+//       migration directories, network queues (packets re-acquire fresh
+//       pool slots; their payload words — which may embed arena pointers —
+//       stay valid because of (a)), channel floors/seqs and the fault
+//       layer's dedup windows.
+//
+// Canonical order: every unordered container is written sorted by its key,
+// so two checkpoints of identical simulated states are byte-identical.
+// Code pointers (vftps, entry functions, resume entries) are process
+// pointers; the restoring Program is validated via a fingerprint over its
+// handler registry, exactly the contract live migration already relies on
+// when it ships resume entries as raw words.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "abcl/machine_api.hpp"
+#include "ckpt/snapshot.hpp"
+
+namespace abcl::ckpt {
+
+namespace {
+
+std::uint64_t ptr_word(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+
+template <class T>
+T* word_ptr(std::uint64_t w) {
+  return reinterpret_cast<T*>(w);
+}
+
+}  // namespace
+
+struct WorldIo {
+  // FNV over the active-message handler registry: count, names, categories.
+  // Handler names embed every pattern, class and size class ("msg:acc",
+  // "create:Counter", "replenish:3"), and ids are positional, so a matching
+  // fingerprint means every handler/pattern id in the snapshot dereferences
+  // to the same specialized procedure in the restoring process.
+  static std::uint64_t fingerprint(const core::Program& prog) {
+    const net::AmRegistry& am = prog.am();
+    std::uint64_t n = am.size();
+    std::uint64_t h = fnv1a(&n, sizeof n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const net::AmRegistry::Entry& e =
+          am.entry(static_cast<net::HandlerId>(i));
+      h = fnv1a(e.name.data(), e.name.size(), h);
+      auto cat = static_cast<std::uint8_t>(e.category);
+      h = fnv1a(&cat, sizeof cat, h);
+    }
+    return h;
+  }
+
+  // ----- whole world -------------------------------------------------------
+
+  static void save(Writer& w, const World& world) {
+    const WorldConfig& cfg = world.cfg_;
+    w.u32(static_cast<std::uint32_t>(cfg.nodes));
+    w.u32(static_cast<std::uint32_t>(cfg.topology));
+    w.raw(cfg.cost);
+    w.raw(cfg.node);
+    w.u32(static_cast<std::uint32_t>(cfg.placement));
+    w.u64(cfg.seed);
+    w.i64(cfg.host_threads);
+    w.b(cfg.pooling);
+    w.u32(static_cast<std::uint32_t>(cfg.queue));
+    w.u32(static_cast<std::uint32_t>(cfg.flush));
+    w.raw(cfg.faults);
+    w.raw(cfg.migration);
+    w.b(cfg.ckpt.enabled);
+    w.u64(cfg.ckpt.at);
+    w.str(cfg.ckpt.path);
+    w.u64(world.quanta_total_);
+
+    save_network(w, *world.net_);
+    for (const auto& n : world.nodes_) save_node(w, *n);
+  }
+
+  static void load(Reader& r, World& world, int host_threads_override) {
+    WorldConfig& cfg = world.cfg_;
+    cfg.nodes = static_cast<std::int32_t>(r.u32());
+    ABCL_CHECK_MSG(cfg.nodes >= 1,
+                   "checkpoint restore: snapshot carries no nodes");
+    cfg.topology = static_cast<net::TopologyKind>(r.u32());
+    r.raw_into(cfg.cost);
+    r.raw_into(cfg.node);
+    cfg.placement = static_cast<remote::PlacementKind>(r.u32());
+    cfg.seed = r.u64();
+    cfg.host_threads = static_cast<int>(r.i64());
+    cfg.pooling = r.b();
+    cfg.queue = static_cast<util::QueueKind>(r.u32());
+    cfg.flush = static_cast<net::FlushKind>(r.u32());
+    r.raw_into(cfg.faults);
+    r.raw_into(cfg.migration);
+    cfg.ckpt.enabled = r.b();
+    cfg.ckpt.at = r.u64();
+    cfg.ckpt.path = r.str();
+    if (host_threads_override != 0) cfg.host_threads = host_threads_override;
+    world.quanta_total_ = r.u64();
+    world.resumed_quanta_ = world.quanta_total_;
+    // The snapshot's own boundary already fired; a restored world resumes
+    // straight to its caller's horizon instead of re-stopping at cfg.ckpt.at
+    // (which is in its past).
+    world.ckpt_taken_ = true;
+
+    world.net_ = std::make_unique<net::Network>(
+        net::Topology(cfg.topology, cfg.nodes), &cfg.cost,
+        std::function<void(core::NodeId)>{}, cfg.pooling, cfg.queue,
+        cfg.flush, cfg.faults);
+    load_network(r, *world.net_);
+
+    world.nodes_.reserve(static_cast<std::size_t>(cfg.nodes));
+    for (std::int32_t i = 0; i < cfg.nodes; ++i) {
+      // Mirrors World's normal per-node config derivation, then pins the
+      // arena at the recorded base.
+      core::NodeRuntime::Config nc = cfg.node;
+      nc.seed = cfg.seed;
+      nc.pooling = cfg.pooling;
+      nc.migration = cfg.migration;
+      if (nc.migration.enabled && nc.gossip_interval == 0) {
+        nc.gossip_interval = nc.migration.interval;
+      }
+      nc.reserved_arena = true;
+      world.nodes_.push_back(load_node(r, i, *world.prog_, *world.net_,
+                                       cfg.cost, nc));
+      world.nodes_.back()->placement().set_kind(cfg.placement);
+    }
+
+    world.build_machine();
+  }
+
+  // ----- network -----------------------------------------------------------
+
+  static void save_network(Writer& w, const net::Network& n) {
+    // Boundary invariants: no worker redirects installed, no flush running.
+    ABCL_CHECK_MSG(!n.flush_active_,
+                   "checkpoint: capture attempted mid-flush");
+    for (const net::Network::Outbox* ob : n.outboxes_) {
+      ABCL_CHECK_MSG(ob == nullptr,
+                     "checkpoint: capture attempted with worker outboxes "
+                     "installed (mid-run)");
+    }
+
+    w.raw(n.stats_);
+    for (std::uint64_t s : n.src_seq_) w.u64(s);
+    save_channel_words(w, n.use_matrix_, n.channel_matrix_, n.channel_map_);
+
+    // Per-destination queues in canonical (arrive, src, seq) order. The
+    // 24-byte queue entries are reconstructed from the packets themselves
+    // (enqueue stamps arrive_time into the slot).
+    std::vector<net::Network::QueuedPacket> entries;
+    for (const auto& q : n.queues_) {
+      entries.clear();
+      q.for_each([&entries](const net::Network::QueuedPacket& e) {
+        entries.push_back(e);
+      });
+      std::sort(entries.begin(), entries.end(),
+                [](const net::Network::QueuedPacket& a,
+                   const net::Network::QueuedPacket& b) {
+                  return net::Network::PacketOrder{}(a, b);
+                });
+      w.u64(entries.size());
+      for (const net::Network::QueuedPacket& e : entries) w.raw(*e.slot);
+    }
+
+    if (n.fault_plan_ != nullptr) {
+      w.raw(n.fault_commit_);
+      save_channel_words(w, n.use_matrix_, n.link_seq_matrix_, n.link_seq_map_);
+      for (const net::Network::DstFaultState& st : n.dst_fault_) {
+        w.u64(st.delivered);
+        w.u64(st.dup_suppressed);
+        std::vector<std::int32_t> srcs;
+        srcs.reserve(st.windows.size());
+        for (const auto& [src, win] : st.windows) srcs.push_back(src);
+        std::sort(srcs.begin(), srcs.end());
+        w.u64(srcs.size());
+        for (std::int32_t src : srcs) {
+          const net::DedupWindow& win = st.windows.at(src);
+          w.u32(static_cast<std::uint32_t>(src));
+          w.u64(win.base_);
+          w.u64(win.bits_);
+          w.u64(win.far_.size());
+          for (std::uint64_t s : win.far_) w.u64(s);  // std::set: sorted
+        }
+      }
+    }
+  }
+
+  static void load_network(Reader& r, net::Network& n) {
+    r.raw_into(n.stats_);
+    for (std::uint64_t& s : n.src_seq_) s = r.u64();
+    load_channel_words(r, n.use_matrix_, n.channel_matrix_, n.channel_map_);
+
+    std::uint64_t total = 0;
+    for (std::size_t dst = 0; dst < n.queues_.size(); ++dst) {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        net::Packet* slot = n.pool_.acquire(n.home_mag_);
+        r.raw_into(*slot);
+        n.queues_[dst].push(net::Network::QueuedPacket{
+            slot->arrive_time, slot->src, slot->seq, slot});
+      }
+      total += count;
+    }
+    n.in_flight_.store(total, std::memory_order_relaxed);
+
+    if (n.fault_plan_ != nullptr) {
+      r.raw_into(n.fault_commit_);
+      load_channel_words(r, n.use_matrix_, n.link_seq_matrix_, n.link_seq_map_);
+      for (net::Network::DstFaultState& st : n.dst_fault_) {
+        st.delivered = r.u64();
+        st.dup_suppressed = r.u64();
+        std::uint64_t nwin = r.u64();
+        for (std::uint64_t i = 0; i < nwin; ++i) {
+          auto src = static_cast<std::int32_t>(r.u32());
+          net::DedupWindow& win = st.windows[src];
+          win.base_ = r.u64();
+          win.bits_ = r.u64();
+          std::uint64_t nfar = r.u64();
+          for (std::uint64_t j = 0; j < nfar; ++j) win.far_.insert(r.u64());
+        }
+      }
+    }
+  }
+
+  // Channel-indexed word state (arrival floors, link seqs): flat matrix on
+  // small machines, sorted (key, value) pairs above the matrix threshold.
+  template <class V>
+  static void save_channel_words(
+      Writer& w, bool use_matrix, const std::vector<V>& matrix,
+      const std::unordered_map<std::uint64_t, V>& map) {
+    if (use_matrix) {
+      w.bytes(matrix.data(), matrix.size() * sizeof(V));
+      return;
+    }
+    std::vector<std::uint64_t> keys;
+    keys.reserve(map.size());
+    for (const auto& [k, v] : map) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t k : keys) {
+      w.u64(k);
+      w.u64(static_cast<std::uint64_t>(map.at(k)));
+    }
+  }
+
+  template <class V>
+  static void load_channel_words(Reader& r, bool use_matrix,
+                                 std::vector<V>& matrix,
+                                 std::unordered_map<std::uint64_t, V>& map) {
+    if (use_matrix) {
+      r.bytes(matrix.data(), matrix.size() * sizeof(V));
+      return;
+    }
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t k = r.u64();
+      map[k] = static_cast<V>(r.u64());
+    }
+  }
+
+  // ----- one node ----------------------------------------------------------
+
+  static void save_node(Writer& w, const core::NodeRuntime& rt) {
+    // Boundary invariants: nothing mid-dispatch.
+    ABCL_CHECK_MSG(rt.cur_obj_ == nullptr && rt.call_depth_ == 0,
+                   "checkpoint: capture attempted mid-quantum");
+    ABCL_CHECK_MSG(rt.block_reason_.kind ==
+                       core::NodeRuntime::BlockReason::Kind::kNone,
+                   "checkpoint: capture attempted with a block in progress");
+    ABCL_CHECK_MSG(rt.arena_.reserved(),
+                   "checkpoint: node heap is not a reserved arena");
+
+    // Raw heap image (see file comment). view()-restored, so the image is
+    // the one genuinely large section and is never copied twice.
+    w.u64(rt.arena_.base());
+    w.u64(rt.arena_.used());
+    w.u64(rt.arena_.bytes_allocated());
+    w.bytes(word_ptr<const void>(rt.arena_.base()), rt.arena_.used());
+
+    w.u64(rt.clock_);
+    w.u64(rt.quanta_run_);
+    w.u64(rt.total_created_);
+    w.u64(rt.live_objects_);
+    w.u64(ptr_word(rt.live_head_));
+    w.raw(rt.stats_);
+    w.raw(rt.rng_);
+
+    // Slab allocator: freelist chains live inside the arena image; only the
+    // per-class heads and bump cursors live out here.
+    ABCL_CHECK_MSG(rt.pool_.heap_head_ == nullptr,
+                   "checkpoint: unpooled heap blocks present");
+    for (std::size_t c = 0; c < util::SlabAllocator::kNumClasses; ++c) {
+      w.u64(ptr_word(rt.pool_.free_[c]));
+      w.u64(ptr_word(rt.pool_.fresh_[c]));
+      w.u64(rt.pool_.fresh_left_[c]);
+    }
+    w.raw(rt.pool_.stats_);
+
+    // Scheduling FIFO, head to tail (relinked in this order on restore).
+    w.u64(rt.sched_.size());
+    rt.sched_.for_each(
+        [&w](const core::ObjectHeader& o) { w.u64(ptr_word(&o)); });
+
+    save_stock(w, rt.stock_);
+    save_loads(w, rt.loads_);
+    w.u32(rt.placement_.cursor_);
+    save_migration(w, rt);
+  }
+
+  static std::unique_ptr<core::NodeRuntime> load_node(
+      Reader& r, core::NodeId id, core::Program& prog, net::Network& net,
+      const sim::CostModel& cm, core::NodeRuntime::Config nc) {
+    std::uint64_t base = r.u64();
+    std::uint64_t used = r.u64();
+    std::uint64_t ballo = r.u64();
+    const void* image = r.view(used);
+    nc.arena_base = base;
+    auto rt = std::make_unique<core::NodeRuntime>(id, prog, net, cm, nc);
+    rt->arena_.restore_image(image, used, ballo);
+
+    rt->clock_ = r.u64();
+    // A restored quantum starts exactly at the restored clock: the budget
+    // accounting continues as if the run had never stopped.
+    rt->quantum_start_clock_ = rt->clock_;
+    rt->quanta_run_ = r.u64();
+    rt->total_created_ = r.u64();
+    rt->live_objects_ = r.u64();
+    rt->live_head_ = word_ptr<core::ObjectHeader>(r.u64());
+    r.raw_into(rt->stats_);
+    r.raw_into(rt->rng_);
+
+    for (std::size_t c = 0; c < util::SlabAllocator::kNumClasses; ++c) {
+      rt->pool_.free_[c] =
+          word_ptr<util::SlabAllocator::FreeNode>(r.u64());
+      rt->pool_.fresh_[c] = word_ptr<std::byte>(r.u64());
+      rt->pool_.fresh_left_[c] = r.u64();
+    }
+    r.raw_into(rt->pool_.stats_);
+
+    std::uint64_t nsched = r.u64();
+    for (std::uint64_t i = 0; i < nsched; ++i) {
+      rt->sched_.ckpt_relink_tail(word_ptr<core::ObjectHeader>(r.u64()));
+    }
+
+    load_stock(r, rt->stock_);
+    load_loads(r, rt->loads_);
+    rt->placement_.cursor_ = r.u32();
+    load_migration(r, *rt);
+    return rt;
+  }
+
+  // ----- node components ---------------------------------------------------
+
+  static void save_stock(Writer& w, const remote::ChunkStock& s) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(s.stocks_.size());
+    for (const auto& [k, v] : s.stocks_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t k : keys) {
+      const auto& chunks = s.stocks_.at(k);
+      w.u64(k);
+      w.u64(chunks.size());
+      for (const core::ObjectHeader* c : chunks) w.u64(ptr_word(c));
+    }
+    keys.clear();
+    for (const auto& [k, v] : s.pending_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t k : keys) {
+      w.u64(k);
+      w.u64(s.pending_.at(k));
+    }
+    w.raw(s.stats_);
+  }
+
+  static void load_stock(Reader& r, remote::ChunkStock& s) {
+    std::uint64_t nstocks = r.u64();
+    for (std::uint64_t i = 0; i < nstocks; ++i) {
+      std::uint64_t k = r.u64();
+      std::uint64_t depth = r.u64();
+      auto& vec = s.stocks_[k];
+      vec.reserve(depth);
+      for (std::uint64_t j = 0; j < depth; ++j) {
+        vec.push_back(word_ptr<core::ObjectHeader>(r.u64()));
+      }
+    }
+    std::uint64_t npend = r.u64();
+    for (std::uint64_t i = 0; i < npend; ++i) {
+      std::uint64_t k = r.u64();
+      s.pending_[k] = r.u64();
+    }
+    r.raw_into(s.stats_);
+  }
+
+  static void save_loads(Writer& w, const remote::LoadMap& m) {
+    std::vector<core::NodeId> keys;
+    keys.reserve(m.loads_.size());
+    for (const auto& [k, v] : m.loads_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (core::NodeId k : keys) {
+      const remote::LoadMap::Entry& e = m.loads_.at(k);
+      w.u32(static_cast<std::uint32_t>(k));
+      w.u32(e.load);
+      w.u64(e.stamp);
+    }
+  }
+
+  static void load_loads(Reader& r, remote::LoadMap& m) {
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto peer = static_cast<core::NodeId>(r.u32());
+      remote::LoadMap::Entry e;
+      e.load = r.u32();
+      e.stamp = r.u64();
+      m.loads_[peer] = e;
+    }
+  }
+
+  // Migration directories: all keyed by header/pointer words, iterated here
+  // in sorted key order (the runtime itself never iterates them).
+  static void save_migration(Writer& w, const core::NodeRuntime& rt) {
+    // stubs_
+    {
+      std::vector<std::uint64_t> keys = sorted_ptr_keys(rt.stubs_);
+      w.u64(keys.size());
+      for (std::uint64_t k : keys) {
+        const core::NodeRuntime::StubInfo& si =
+            rt.stubs_.at(word_ptr<core::ObjectHeader>(k));
+        w.u64(k);
+        w.raw(si.fwd);
+        w.u32(si.fwd_epoch);
+        w.u64(si.parked.size());
+        for (const auto& pm : si.parked) w.raw(pm);
+      }
+    }
+    // redirects_
+    {
+      std::vector<std::uint64_t> keys = sorted_word_keys(rt.redirects_);
+      w.u64(keys.size());
+      for (std::uint64_t k : keys) {
+        const core::NodeRuntime::RedirectEntry& re = rt.redirects_.at(k);
+        w.u64(k);
+        w.raw(re.fwd);
+        w.u32(re.epoch);
+        w.b(re.flushing);
+        w.u64(re.held.size());
+        for (const auto& hm : re.held) w.raw(hm);
+      }
+    }
+    // inbound_
+    {
+      std::vector<std::uint64_t> keys = sorted_word_keys(rt.inbound_);
+      w.u64(keys.size());
+      for (std::uint64_t k : keys) {
+        const core::NodeRuntime::InboundMigration& in = rt.inbound_.at(k);
+        w.u64(k);
+        w.b(in.have_start);
+        w.u32(in.cls_id);
+        w.u32(in.flags);
+        w.u32(in.epoch);
+        w.i64(in.wait_site);
+        w.u32(in.blob_words);
+        w.u32(in.received_words);
+        w.u32(static_cast<std::uint32_t>(in.src));
+        w.u64(in.priors.size());
+        for (const auto& a : in.priors) w.raw(a);
+        w.u64(in.blob.size());
+        for (core::Word word : in.blob) w.u64(word);
+      }
+    }
+    // migrated_meta_
+    {
+      std::vector<std::uint64_t> keys = sorted_ptr_keys(rt.migrated_meta_);
+      w.u64(keys.size());
+      for (std::uint64_t k : keys) {
+        const core::NodeRuntime::MigratedMeta& mm =
+            rt.migrated_meta_.at(word_ptr<core::ObjectHeader>(k));
+        w.u64(k);
+        w.u32(mm.epoch);
+        w.u64(mm.priors.size());
+        for (const auto& a : mm.priors) w.raw(a);
+      }
+    }
+  }
+
+  static void load_migration(Reader& r, core::NodeRuntime& rt) {
+    {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        auto* key = word_ptr<core::ObjectHeader>(r.u64());
+        core::NodeRuntime::StubInfo si;
+        r.raw_into(si.fwd);
+        si.fwd_epoch = r.u32();
+        std::uint64_t nparked = r.u64();
+        si.parked.reserve(nparked);
+        for (std::uint64_t j = 0; j < nparked; ++j) {
+          r.raw_into(si.parked.emplace_back());
+        }
+        rt.stubs_.emplace(key, std::move(si));
+      }
+    }
+    {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        core::Word key = r.u64();
+        core::NodeRuntime::RedirectEntry re;
+        r.raw_into(re.fwd);
+        re.epoch = r.u32();
+        re.flushing = r.b();
+        std::uint64_t nheld = r.u64();
+        re.held.reserve(nheld);
+        for (std::uint64_t j = 0; j < nheld; ++j) {
+          r.raw_into(re.held.emplace_back());
+        }
+        rt.redirects_.emplace(key, std::move(re));
+      }
+    }
+    {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        core::Word key = r.u64();
+        core::NodeRuntime::InboundMigration in;
+        in.have_start = r.b();
+        in.cls_id = static_cast<core::ClassId>(r.u32());
+        in.flags = r.u32();
+        in.epoch = r.u32();
+        in.wait_site = r.i64();
+        in.blob_words = r.u32();
+        in.received_words = r.u32();
+        in.src = static_cast<core::NodeId>(r.u32());
+        std::uint64_t npriors = r.u64();
+        in.priors.reserve(npriors);
+        for (std::uint64_t j = 0; j < npriors; ++j) {
+          r.raw_into(in.priors.emplace_back());
+        }
+        std::uint64_t nblob = r.u64();
+        in.blob.reserve(nblob);
+        for (std::uint64_t j = 0; j < nblob; ++j) in.blob.push_back(r.u64());
+        rt.inbound_.emplace(key, std::move(in));
+      }
+    }
+    {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        auto* key = word_ptr<core::ObjectHeader>(r.u64());
+        core::NodeRuntime::MigratedMeta mm;
+        mm.epoch = r.u32();
+        std::uint64_t npriors = r.u64();
+        mm.priors.reserve(npriors);
+        for (std::uint64_t j = 0; j < npriors; ++j) {
+          r.raw_into(mm.priors.emplace_back());
+        }
+        rt.migrated_meta_.emplace(key, std::move(mm));
+      }
+    }
+  }
+
+  template <class Map>
+  static std::vector<std::uint64_t> sorted_ptr_keys(const Map& m) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(m.size());
+    for (const auto& [k, v] : m) keys.push_back(ptr_word(k));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  template <class Map>
+  static std::vector<std::uint64_t> sorted_word_keys(const Map& m) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(m.size());
+    for (const auto& [k, v] : m) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};
+
+}  // namespace abcl::ckpt
+
+namespace abcl {
+
+void World::checkpoint(ckpt::Sink& sink) const {
+  ABCL_CHECK_MSG(cfg_.ckpt.enabled,
+                 "checkpoint(): world was not built with checkpointing "
+                 "enabled (WorldConfig::ckpt / ABCLSIM_CHECKPOINT)");
+  ckpt::Writer w;
+  ckpt::WorldIo::save(w, *this);
+  w.finish(ckpt::WorldIo::fingerprint(*prog_), sink);
+}
+
+std::unique_ptr<World> World::restore(core::Program& prog, ckpt::Source& src,
+                                      int host_threads_override) {
+  ABCL_CHECK_MSG(prog.finalized(),
+                 "checkpoint restore: finalize the Program first");
+  ckpt::Reader r(src, ckpt::WorldIo::fingerprint(prog));
+  std::unique_ptr<World> w(new World(RestoreTag{}, prog));
+  ckpt::WorldIo::load(r, *w, host_threads_override);
+  r.expect_end();
+  return w;
+}
+
+}  // namespace abcl

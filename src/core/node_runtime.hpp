@@ -31,6 +31,10 @@
 #include "util/rng.hpp"
 #include "util/slab.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::core {
 
 // Result of beginning a remote creation: either the mail address is already
@@ -71,6 +75,13 @@ class NodeRuntime final : public sim::NodeExec {
     // shed policy additionally needs gossip (World auto-enables it at the
     // shed interval when the app left gossip off).
     remote::MigrationConfig migration;
+    // Checkpointable worlds place the node heap in a fixed-base reserved
+    // arena so a snapshot restores address-faithfully (util/arena.hpp).
+    // Default worlds keep the malloc-block arena. arena_base is consulted
+    // only when reserved_arena is true: kReserveAuto claims the next free
+    // registry slot; an explicit base (restore path) maps exactly there.
+    bool reserved_arena = false;
+    std::uint64_t arena_base = util::Arena::kReserveAuto;
   };
 
   NodeRuntime(NodeId id, Program& prog, net::Network& net,
@@ -299,6 +310,8 @@ class NodeRuntime final : public sim::NodeExec {
 
  private:
   friend void register_builtin_handlers(Program& prog);
+  // Checkpoint serializer (src/ckpt/world_io.cpp).
+  friend struct abcl::ckpt::WorldIo;
 
   struct BlockReason {
     enum class Kind : std::uint8_t {

@@ -62,6 +62,12 @@ class SchedQueue {
     q_.for_each(fn);
   }
 
+  // Checkpoint restore: re-link `o` at the tail, bypassing push()'s
+  // sched_state transition — the restored arena image already carries the
+  // object's sched_state, and push() would early-return on it. Relinking in
+  // the snapshot's FIFO order rebuilds the identical sched_next chain.
+  void ckpt_relink_tail(ObjectHeader* o) { q_.push_back(o); }
+
  private:
   util::IntrusiveFifo<ObjectHeader, &ObjectHeader::sched_next> q_;
 };

@@ -288,7 +288,7 @@ InterpPatterns register_interp(core::Program& prog) {
 
 FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
                      const sim::CostModel& cost, util::QueueKind queue,
-                     net::FlushKind flush)
+                     net::FlushKind flush, const ckpt::CheckpointConfig& ck)
     : spec_(spec) {
   std::string verr;
   ABCL_CHECK_MSG(spec_.validate(&verr), "invalid fuzz spec");
@@ -298,17 +298,18 @@ FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
   prog_.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = spec_.nodes;
-  cfg.host_threads = host_threads;
-  cfg.cost = cost;
+  cfg.with_nodes(spec_.nodes)
+      .with_host_threads(host_threads)
+      .with_cost(cost)
+      .with_seed(spec_.seed | 1)
+      .with_queue(queue)
+      .with_flush(flush)
+      .with_ckpt(ck);
   cfg.node.max_call_depth = spec_.max_call_depth;
   cfg.node.reduction_budget = spec_.reduction_budget;
   cfg.node.disable_replenish = spec_.disable_replenish;
-  cfg.seed = spec_.seed | 1;
-  cfg.queue = queue;
-  cfg.flush = flush;
-  if (spec_.faults.has_value()) cfg.faults = *spec_.faults;
-  if (spec_.migration.has_value()) cfg.migration = *spec_.migration;
+  if (spec_.faults.has_value()) cfg.with_faults(*spec_.faults);
+  if (spec_.migration.has_value()) cfg.with_migration(*spec_.migration);
 
   counters_.assign(static_cast<std::size_t>(spec_.nodes), Counters{});
   rc_.spec = &spec_;
@@ -347,6 +348,22 @@ FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
                     {static_cast<Word>(bm.fuel), Word{1}});
     });
   }
+}
+
+void FuzzWorld::restore_world(ckpt::Source& src, sim::Tracer* tracer,
+                              int host_threads_override) {
+  // The old world must die first: restore re-maps the node arenas at the
+  // exact bases the snapshot records (MAP_FIXED_NOREPLACE).
+  world_.reset();
+  world_ = World::restore(prog_, src, host_threads_override);
+  if (tracer != nullptr) world_->attach_tracer(tracer);
+}
+
+void FuzzWorld::reset_counters(const std::vector<Counters>& snap) {
+  ABCL_CHECK_MSG(snap.size() == counters_.size(),
+                 "counter snapshot is from a different world shape");
+  counters_ = snap;
+  rc_.per_node = counters_.data();
 }
 
 Counters FuzzWorld::total() const {

@@ -83,11 +83,14 @@ class FuzzWorld {
   // `spec` must validate; aborts otherwise. `tracer` (optional) is attached
   // before boot so boot-time cascades are fingerprinted too. `queue` and
   // `flush` select the time-queue and flush-path ablations (see
-  // WorldConfig); either choice must produce byte-identical results.
+  // WorldConfig); either choice must produce byte-identical results. `ck`
+  // (optional) enables deterministic checkpoint capture at a simulated-time
+  // boundary (see ckpt/snapshot.hpp and checkpoint_to below).
   FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer = nullptr,
             const sim::CostModel& cost = sim::CostModel::ap1000(),
             util::QueueKind queue = util::QueueKind::kBucket,
-            net::FlushKind flush = net::FlushKind::kMerge);
+            net::FlushKind flush = net::FlushKind::kMerge,
+            const ckpt::CheckpointConfig& ck = {});
 
   FuzzWorld(const FuzzWorld&) = delete;
   FuzzWorld& operator=(const FuzzWorld&) = delete;
@@ -109,6 +112,26 @@ class FuzzWorld {
   // covered indirectly by the conservation invariants).
   std::uint64_t waiting_static_objects() const;
   std::uint64_t queued_static_msgs() const;
+
+  // Serializes the current world (requires a checkpoint-enabled `ck` at
+  // construction; only legal between run() calls — a quantum boundary).
+  void checkpoint_to(ckpt::Sink& sink) const { world_->checkpoint(sink); }
+
+  // Destroys the current World (unmapping its fixed-base arenas) and
+  // rebuilds it from `src`. Restored actor frames hold `const RunCtx*`
+  // words pointing back into this FuzzWorld, so restore must reuse the SAME
+  // FuzzWorld instance — spec, program, counters and RunCtx stay at their
+  // original addresses. `tracer` is re-attached to the restored world (pass
+  // the original to keep one fingerprint spanning the gap).
+  // `host_threads_override`: 0 keeps the snapshot's driver configuration;
+  // otherwise same semantics as WorldConfig::host_threads.
+  void restore_world(ckpt::Source& src, sim::Tracer* tracer = nullptr,
+                     int host_threads_override = 0);
+
+  // Crash-recovery support: rolls the app-side flow counters back to a copy
+  // of per_node() captured alongside a checkpoint, discarding whatever a
+  // crashed (to-be-replayed) segment accumulated.
+  void reset_counters(const std::vector<Counters>& snap);
 
  private:
   Spec spec_;  // owned copy; RunCtx points into it

@@ -135,9 +135,8 @@ bool check_invariants(const Spec& spec, const RunResult& rr,
   return true;
 }
 
-bool check_identical(const RunResult& a, const RunResult& b, int threads,
-                     OracleResult& res) {
-  const std::string w = where(threads);
+bool check_identical(const RunResult& a, const RunResult& b,
+                     const std::string& w, OracleResult& res) {
   FUZZ_EXPECT(res, b.sim_time == a.sim_time, w + ": sim_time differs");
   FUZZ_EXPECT(res, b.quanta == a.quanta, w + ": quanta differ");
   FUZZ_EXPECT(res, b.trace_events == a.trace_events,
@@ -242,13 +241,14 @@ bool check_metamorphic(const Spec& spec, const RunResult& base,
 
 }  // namespace
 
-RunResult run_spec(const Spec& spec, int host_threads,
-                   const sim::CostModel& cost, util::QueueKind queue,
-                   net::FlushKind flush) {
-  HashTracer tracer;
-  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush);
-  RunReport rep = fw.world().run();
+namespace {
 
+// Assembles the observable record of a finished run. `rep` must carry the
+// run's cumulative quanta (for a restored world: resumed_quanta() plus the
+// post-restore report), so a resumed run's record is comparable
+// byte-for-byte with an uninterrupted one.
+RunResult collect(FuzzWorld& fw, const HashTracer& tracer,
+                  const RunReport& rep) {
   RunResult rr;
   rr.metrics_json = obs::metrics_json(fw.world(), &rep);
   rr.trace_hash = tracer.hash();
@@ -288,13 +288,78 @@ RunResult run_spec(const Spec& spec, int host_threads,
   return rr;
 }
 
+}  // namespace
+
+RunResult run_spec(const Spec& spec, int host_threads,
+                   const sim::CostModel& cost, util::QueueKind queue,
+                   net::FlushKind flush) {
+  HashTracer tracer;
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush);
+  RunReport rep = fw.world().run();
+  return collect(fw, tracer, rep);
+}
+
+RunResult run_spec_with_checkpoint(const Spec& spec, int host_threads,
+                                   std::uint64_t at, int restore_host_threads,
+                                   const sim::CostModel& cost,
+                                   util::QueueKind queue,
+                                   net::FlushKind flush) {
+  HashTracer tracer;
+  ckpt::CheckpointConfig ck;
+  ck.enabled = true;
+  ck.at = at;
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, ck);
+  fw.world().run();  // stops at the `at` boundary (or quiesces before it)
+
+  ckpt::MemSink sink;
+  fw.checkpoint_to(sink);
+  ckpt::MemSource src(sink.take());
+  fw.restore_world(src, &tracer, restore_host_threads);
+
+  RunReport rep = fw.world().run();
+  rep.quanta += fw.world().resumed_quanta();
+  return collect(fw, tracer, rep);
+}
+
+RunResult run_spec_with_crash(const Spec& spec, int host_threads,
+                              std::uint64_t at, std::uint64_t crash_at,
+                              const sim::CostModel& cost,
+                              util::QueueKind queue, net::FlushKind flush) {
+  HashTracer tracer;
+  ckpt::CheckpointConfig ck;
+  ck.enabled = true;
+  ck.at = at;
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, ck);
+  fw.world().run();  // to the checkpoint boundary
+
+  ckpt::MemSink sink;
+  fw.checkpoint_to(sink);
+  const std::vector<Counters> saved_counters = fw.per_node();
+  const HashTracer::State saved_trace = tracer.state();
+
+  // Run on toward the crash instant; everything this segment does — world
+  // state, counters, trace events — is about to be lost.
+  fw.world().run(crash_at);
+
+  // Crash + recovery: the world is gone; app-side effects roll back to
+  // their checkpoint-time copies, then deterministic replay re-earns them.
+  tracer.restore_state(saved_trace);
+  fw.reset_counters(saved_counters);
+  ckpt::MemSource src(sink.take());
+  fw.restore_world(src, &tracer);
+
+  RunReport rep = fw.world().run();
+  rep.quanta += fw.world().resumed_quanta();
+  return collect(fw, tracer, rep);
+}
+
 OracleResult check_spec(const Spec& spec, const OracleOptions& opts) {
   OracleResult res;
   res.serial = run_spec(spec, kSerial);
   if (!check_invariants(spec, res.serial, res)) return res;
   for (int t : opts.thread_counts) {
     RunResult rr = run_spec(spec, t);
-    if (!check_identical(res.serial, rr, t, res)) return res;
+    if (!check_identical(res.serial, rr, where(t), res)) return res;
   }
   if (opts.metamorphic) {
     sim::CostModel scaled = sim::CostModel::ap1000();
@@ -302,6 +367,45 @@ OracleResult check_spec(const Spec& spec, const OracleOptions& opts) {
     scaled.per_hop *= 2;
     RunResult rr = run_spec(spec, kSerial, scaled);
     if (!check_metamorphic(spec, res.serial, rr, res)) return res;
+  }
+  return res;
+}
+
+OracleResult check_spec_checkpoint(const Spec& spec,
+                                   const CheckpointOracleOptions& opts) {
+  OracleResult res;
+  res.serial = run_spec(spec, kSerial);
+  if (!check_invariants(spec, res.serial, res)) return res;
+  // Default boundaries land mid-workload: halfway to quiescence for the
+  // checkpoint, halfway through the remainder for the crash. (`at` must be
+  // >= 1; a degenerate baseline still yields a valid boundary.)
+  const std::uint64_t at = opts.at != 0 ? opts.at : res.serial.sim_time / 2 + 1;
+  const std::uint64_t crash_at =
+      opts.crash_at != 0 ? opts.crash_at
+                         : at + (res.serial.sim_time - at) / 2 + 1;
+  {
+    RunResult rr = run_spec_with_checkpoint(spec, kSerial, at);
+    if (!check_identical(res.serial, rr, "ckpt+restore serial", res)) {
+      return res;
+    }
+  }
+  for (int t : opts.thread_counts) {
+    RunResult rr = run_spec_with_checkpoint(spec, t, at);
+    if (!check_identical(res.serial, rr, "ckpt+restore " + where(t), res)) {
+      return res;
+    }
+  }
+  {
+    // Cross-driver: capture under the serial machine, resume host-parallel.
+    RunResult rr = run_spec_with_checkpoint(spec, kSerial, at, 2);
+    if (!check_identical(res.serial, rr,
+                         "ckpt serial, restore threads=2", res)) {
+      return res;
+    }
+  }
+  {
+    RunResult rr = run_spec_with_crash(spec, kSerial, at, crash_at);
+    if (!check_identical(res.serial, rr, "crash-recovery", res)) return res;
   }
   return res;
 }

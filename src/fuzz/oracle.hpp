@@ -58,6 +58,18 @@ class HashTracer final : public sim::Tracer {
   std::uint64_t hash() const { return h_; }
   std::uint64_t events() const { return n_; }
 
+  // Crash-recovery support: the fingerprint state is tiny, so a harness can
+  // save it alongside a world checkpoint and roll back to it, discarding
+  // the events of a crashed (to-be-replayed) segment.
+  struct State {
+    std::uint64_t h = 0, n = 0;
+  };
+  State state() const { return {h_, n_}; }
+  void restore_state(const State& s) {
+    h_ = s.h;
+    n_ = s.n;
+  }
+
  private:
   static std::uint64_t mix(std::uint64_t z) {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -119,6 +131,32 @@ RunResult run_spec(const Spec& spec, int host_threads,
                    util::QueueKind queue = util::QueueKind::kBucket,
                    net::FlushKind flush = net::FlushKind::kMerge);
 
+// Snapshot-equivalence drill: run `spec` to the quantum boundary at `at`,
+// serialize the whole world into memory, destroy it, restore it (under
+// `restore_host_threads` if nonzero — 0 keeps the snapshot's driver) and
+// run the restored world to quiescence, all under one trace fingerprint.
+// The result must be byte-identical to run_spec with the same arguments;
+// check_spec_checkpoint turns that into a checked property.
+RunResult run_spec_with_checkpoint(
+    const Spec& spec, int host_threads, std::uint64_t at,
+    int restore_host_threads = 0,
+    const sim::CostModel& cost = sim::CostModel::ap1000(),
+    util::QueueKind queue = util::QueueKind::kBucket,
+    net::FlushKind flush = net::FlushKind::kMerge);
+
+// Crash-recovery drill: checkpoint at `at`, keep running toward the later
+// simulated instant `crash_at`, then "crash" — destroy the world, roll the
+// app-side counters and the trace fingerprint back to their
+// checkpoint-time copies, restore from the snapshot and run to quiescence.
+// Deterministic replay makes the recovered run byte-identical to an
+// uninterrupted one.
+RunResult run_spec_with_crash(
+    const Spec& spec, int host_threads, std::uint64_t at,
+    std::uint64_t crash_at,
+    const sim::CostModel& cost = sim::CostModel::ap1000(),
+    util::QueueKind queue = util::QueueKind::kBucket,
+    net::FlushKind flush = net::FlushKind::kMerge);
+
 struct OracleOptions {
   std::vector<int> thread_counts = {1, 2, 8};
   bool metamorphic = true;
@@ -133,5 +171,23 @@ struct OracleResult {
 // Runs the full oracle on `spec`. Also usable as the shrinker's
 // still-failing predicate via !check_spec(spec).ok.
 OracleResult check_spec(const Spec& spec, const OracleOptions& opts = {});
+
+struct CheckpointOracleOptions {
+  std::vector<int> thread_counts = {1, 2, 8};
+  // Simulated boundary to checkpoint at; 0 = halfway through the baseline
+  // run (derived from its sim_time, so it always lands mid-workload).
+  std::uint64_t at = 0;
+  // Simulated instant of the simulated crash; 0 = halfway between the
+  // checkpoint and the baseline's quiescence.
+  std::uint64_t crash_at = 0;
+};
+
+// Snapshot-equivalence oracle: the uninterrupted serial run is the
+// baseline; a checkpoint+restore run under the serial machine and under
+// each thread count, a cross-driver run (checkpointed serial, restored
+// host-parallel), and a crash-recovery run must all match it
+// byte-for-byte (same checks as check_spec's differential pass).
+OracleResult check_spec_checkpoint(const Spec& spec,
+                                   const CheckpointOracleOptions& opts = {});
 
 }  // namespace abcl::fuzz

@@ -4,6 +4,7 @@
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/spec_parser.hpp"
 
 namespace abcl::net {
 
@@ -143,146 +144,37 @@ bool validate_fault_config(const FaultConfig& cfg, std::string* err) {
   return true;
 }
 
-namespace {
-
-// "0.05" / "1" / ".25" -> ppm. Strict: decimal digits only, at most six
-// fractional digits (the ppm resolution), value <= 1.
-std::optional<std::uint32_t> parse_prob_ppm(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  std::size_t dot = s.find('.');
-  std::string ip = dot == std::string::npos ? s : s.substr(0, dot);
-  std::string fp = dot == std::string::npos ? "" : s.substr(dot + 1);
-  if (ip.empty() && fp.empty()) return std::nullopt;
-  if (fp.size() > 6) return std::nullopt;  // sub-ppm precision unsupported
-  std::uint64_t whole = 0;
-  for (char c : ip) {
-    if (c < '0' || c > '9') return std::nullopt;
-    whole = whole * 10 + static_cast<std::uint64_t>(c - '0');
-    if (whole > 1) return std::nullopt;
-  }
-  std::uint64_t frac = 0;
-  for (char c : fp) {
-    if (c < '0' || c > '9') return std::nullopt;
-    frac = frac * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  for (std::size_t i = fp.size(); i < 6; ++i) frac *= 10;
-  std::uint64_t ppm = whole * kPpmOne + frac;
-  if (ppm > kPpmOne) return std::nullopt;
-  return static_cast<std::uint32_t>(ppm);
-}
-
-std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  std::uint64_t v = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') return std::nullopt;
-    if (v > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) / 10) {
-      return std::nullopt;
-    }
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return v;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-}  // namespace
-
+// Thin wrapper over util::SpecParser (the shared key=value grammar): the
+// field set and every diagnostic below are this knob's contract; the split /
+// trim / duplicate-key machinery is the shared core.
 std::optional<FaultConfig> parse_fault_spec(const char* text,
                                             std::string* err) {
   FaultConfig cfg;
-  if (text == nullptr || *text == '\0') return cfg;  // unset: faults off
+  if (util::spec_off(text)) return cfg;  // unset or "off": faults off
   const std::string raw = text;
   auto fail = [&](const std::string& why) -> std::optional<FaultConfig> {
     if (err != nullptr) {
-      *err = "fault spec \"" + raw + "\": " + why +
-             " (expected comma-separated drop/dup/delay/blackout=PROB, "
-             "delay_max/blackout_window/rto/rto_max/seed=N)";
+      *err = util::spec_error(
+          "fault spec", raw, why,
+          "expected comma-separated drop/dup/delay/blackout=PROB, "
+          "delay_max/blackout_window/rto/rto_max/seed=N");
     }
     return std::nullopt;
   };
-  if (trim(raw) == "off") return cfg;
   cfg.enabled = true;
 
-  bool seen[9] = {};
-  std::size_t pos = 0;
-  while (pos <= raw.size()) {
-    std::size_t comma = raw.find(',', pos);
-    if (comma == std::string::npos) comma = raw.size();
-    const std::string item = trim(raw.substr(pos, comma - pos));
-    pos = comma + 1;
-    if (item.empty()) {
-      return fail("empty list entry");
-    }
-    std::size_t eq = item.find('=');
-    if (eq == std::string::npos) return fail("entry \"" + item + "\" has no '='");
-    const std::string key = trim(item.substr(0, eq));
-    const std::string val = trim(item.substr(eq + 1));
-
-    auto prob = [&](const char* name, std::uint32_t* out,
-                    int idx) -> std::optional<std::string> {
-      if (seen[idx]) return "duplicate key \"" + std::string(name) + "\"";
-      seen[idx] = true;
-      std::optional<std::uint32_t> p = parse_prob_ppm(val);
-      if (!p.has_value()) {
-        return std::string(name) + "=\"" + val +
-               "\" is not a probability in [0, 1] with <= 6 decimals";
-      }
-      *out = *p;
-      return std::nullopt;
-    };
-    auto count = [&](const char* name, sim::Instr* out,
-                     int idx) -> std::optional<std::string> {
-      if (seen[idx]) return "duplicate key \"" + std::string(name) + "\"";
-      seen[idx] = true;
-      std::optional<std::uint64_t> v = parse_u64(val);
-      if (!v.has_value()) {
-        return std::string(name) + "=\"" + val + "\" is not a non-negative integer";
-      }
-      *out = *v;
-      return std::nullopt;
-    };
-
-    std::optional<std::string> why;
-    if (key == "drop") {
-      why = prob("drop", &cfg.drop_ppm, 0);
-    } else if (key == "dup") {
-      why = prob("dup", &cfg.dup_ppm, 1);
-    } else if (key == "delay") {
-      why = prob("delay", &cfg.delay_ppm, 2);
-    } else if (key == "blackout") {
-      why = prob("blackout", &cfg.blackout_ppm, 3);
-    } else if (key == "delay_max") {
-      why = count("delay_max", &cfg.delay_max, 4);
-    } else if (key == "blackout_window") {
-      why = count("blackout_window", &cfg.blackout_window, 5);
-    } else if (key == "rto") {
-      why = count("rto", &cfg.rto, 6);
-    } else if (key == "rto_max") {
-      why = count("rto_max", &cfg.rto_max, 7);
-    } else if (key == "seed") {
-      if (seen[8]) {
-        why = "duplicate key \"seed\"";
-      } else {
-        seen[8] = true;
-        std::optional<std::uint64_t> v = parse_u64(val);
-        if (!v.has_value()) {
-          why = "seed=\"" + val + "\" is not a non-negative integer";
-        } else {
-          cfg.seed = *v;
-        }
-      }
-    } else {
-      why = "unknown key \"" + key + "\"";
-    }
-    if (why.has_value()) return fail(*why);
-    if (pos > raw.size()) break;
-  }
+  util::SpecParser p;
+  p.prob_ppm("drop", &cfg.drop_ppm)
+      .prob_ppm("dup", &cfg.dup_ppm)
+      .prob_ppm("delay", &cfg.delay_ppm)
+      .prob_ppm("blackout", &cfg.blackout_ppm)
+      .u64("delay_max", &cfg.delay_max)
+      .u64("blackout_window", &cfg.blackout_window)
+      .u64("rto", &cfg.rto)
+      .u64("rto_max", &cfg.rto_max)
+      .u64("seed", &cfg.seed);
+  std::string why;
+  if (!p.run(raw, &why)) return fail(why);
 
   std::string verr;
   if (!validate_fault_config(cfg, &verr)) return fail(verr);

@@ -37,6 +37,10 @@
 #include "sim/time.hpp"
 #include "util/stats.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::net {
 
 // Fault probabilities are integer parts-per-million (0..1'000'000) so that
@@ -185,6 +189,8 @@ class DedupWindow {
   std::size_t spill_size() const { return far_.size(); }
 
  private:
+  friend struct abcl::ckpt::WorldIo;  // checkpoint serializer
+
   void advance();
 
   std::uint64_t base_ = 0;  // every seq < base_ has been delivered

@@ -61,6 +61,10 @@
 #include "util/bucket_queue.hpp"
 #include "util/stats.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::net {
 
 // How flush_outboxes reconstructs canonical commit order: kMerge (default)
@@ -197,6 +201,9 @@ class Network {
   FaultStats fault_stats() const;
 
  private:
+  // Checkpoint serializer (src/ckpt/world_io.cpp).
+  friend struct abcl::ckpt::WorldIo;
+
   // Destination-queue entry: the simulated delivery key plus the pooled
   // slot holding the payload. Moving 24 bytes instead of sizeof(Packet)
   // is most of the pooled send/poll win at depth.

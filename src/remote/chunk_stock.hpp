@@ -17,6 +17,10 @@
 #include "core/types.hpp"
 #include "util/assert.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::remote {
 
 class ChunkStock {
@@ -88,6 +92,8 @@ class ChunkStock {
   const Stats& stats() const { return stats_; }
 
  private:
+  friend struct abcl::ckpt::WorldIo;  // checkpoint serializer
+
   static std::uint64_t key(core::NodeId peer, std::uint16_t size_class) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 16) |
            size_class;

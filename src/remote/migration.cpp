@@ -4,6 +4,7 @@
 
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/spec_parser.hpp"
 
 namespace abcl::remote {
 
@@ -25,100 +26,30 @@ bool validate_migration_config(const MigrationConfig& cfg, std::string* err) {
   return true;
 }
 
-namespace {
-
-std::optional<std::uint64_t> parse_u64(const std::string& s) {
-  if (s.empty()) return std::nullopt;
-  std::uint64_t v = 0;
-  for (char c : s) {
-    if (c < '0' || c > '9') return std::nullopt;
-    if (v > (~std::uint64_t{0} - static_cast<std::uint64_t>(c - '0')) / 10) {
-      return std::nullopt;
-    }
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return v;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-}  // namespace
-
+// Thin wrapper over util::SpecParser — see parse_fault_spec for the shape.
 std::optional<MigrationConfig> parse_migration_spec(const char* text,
                                                     std::string* err) {
   MigrationConfig cfg;
-  if (text == nullptr || *text == '\0') return cfg;  // unset: migration off
+  if (util::spec_off(text)) return cfg;  // unset or "off": migration off
   const std::string raw = text;
   auto fail = [&](const std::string& why) -> std::optional<MigrationConfig> {
     if (err != nullptr) {
-      *err = "migration spec \"" + raw + "\": " + why +
-             " (expected comma-separated "
-             "interval/hysteresis/max_batch/min_queue/seed=N)";
+      *err = util::spec_error("migration spec", raw, why,
+                              "expected comma-separated "
+                              "interval/hysteresis/max_batch/min_queue/seed=N");
     }
     return std::nullopt;
   };
-  if (trim(raw) == "off") return cfg;
   cfg.enabled = true;
 
-  bool seen[5] = {};
-  std::size_t pos = 0;
-  while (pos <= raw.size()) {
-    std::size_t comma = raw.find(',', pos);
-    if (comma == std::string::npos) comma = raw.size();
-    const std::string item = trim(raw.substr(pos, comma - pos));
-    pos = comma + 1;
-    if (item.empty()) return fail("empty list entry");
-    std::size_t eq = item.find('=');
-    if (eq == std::string::npos) {
-      return fail("entry \"" + item + "\" has no '='");
-    }
-    const std::string key = trim(item.substr(0, eq));
-    const std::string val = trim(item.substr(eq + 1));
-
-    std::optional<std::uint64_t> v = parse_u64(val);
-    auto u32 = [&](const char* name, std::uint32_t* out,
-                   int idx) -> std::optional<std::string> {
-      if (seen[idx]) return "duplicate key \"" + std::string(name) + "\"";
-      seen[idx] = true;
-      if (!v.has_value() || *v > 0xFFFFFFFFull) {
-        return std::string(name) + "=\"" + val +
-               "\" is not a non-negative 32-bit integer";
-      }
-      *out = static_cast<std::uint32_t>(*v);
-      return std::nullopt;
-    };
-
-    std::optional<std::string> why;
-    if (key == "interval") {
-      why = u32("interval", &cfg.interval, 0);
-    } else if (key == "hysteresis") {
-      why = u32("hysteresis", &cfg.hysteresis, 1);
-    } else if (key == "max_batch") {
-      why = u32("max_batch", &cfg.max_batch, 2);
-    } else if (key == "min_queue") {
-      why = u32("min_queue", &cfg.min_queue, 3);
-    } else if (key == "seed") {
-      if (seen[4]) {
-        why = "duplicate key \"seed\"";
-      } else {
-        seen[4] = true;
-        if (!v.has_value()) {
-          why = "seed=\"" + val + "\" is not a non-negative integer";
-        } else {
-          cfg.seed = *v;
-        }
-      }
-    } else {
-      why = "unknown key \"" + key + "\"";
-    }
-    if (why.has_value()) return fail(*why);
-    if (pos > raw.size()) break;
-  }
+  util::SpecParser p;
+  p.u32("interval", &cfg.interval)
+      .u32("hysteresis", &cfg.hysteresis)
+      .u32("max_batch", &cfg.max_batch)
+      .u32("min_queue", &cfg.min_queue)
+      .u64("seed", &cfg.seed);
+  std::string why;
+  if (!p.run(raw, &why)) return fail(why);
 
   std::string verr;
   if (!validate_migration_config(cfg, &verr)) return fail(verr);

@@ -10,6 +10,10 @@
 
 #include "core/types.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::core {
 class NodeRuntime;
 }
@@ -37,6 +41,8 @@ class Placement {
   core::NodeId choose(core::NodeRuntime& rt);
 
  private:
+  friend struct abcl::ckpt::WorldIo;  // checkpoint serializer
+
   PlacementKind kind_;
   std::uint32_t cursor_ = 0;
 };

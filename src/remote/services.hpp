@@ -11,6 +11,10 @@
 
 #include "core/types.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::remote {
 
 // Last load figure heard from each peer via the load-gossip service, with a
@@ -47,6 +51,8 @@ class LoadMap {
   std::size_t known_peers() const { return loads_.size(); }
 
  private:
+  friend struct abcl::ckpt::WorldIo;  // checkpoint serializer
+
   struct Entry {
     std::uint32_t load = 0;
     std::uint64_t stamp = 0;  // receiver quanta_run at note() time

@@ -1,14 +1,80 @@
 #include "util/arena.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <string>
+
+#include <sys/mman.h>
 
 namespace abcl::util {
 
-Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+namespace {
+
+// Fixed-base slot registry for reserved arenas. The window starts far above
+// any malloc/ASLR region; each arena claims one kSlotBytes slot. A restore
+// maps at an exact recorded base instead, so the auto path probes forward
+// past slots an earlier restore may still occupy.
+constexpr std::uint64_t kFirstSlotBase = 0x5a00'0000'0000ull;
+std::atomic<std::uint64_t> g_next_slot{0};
+
+void* map_reservation(std::uint64_t base) {
+  void* want = reinterpret_cast<void*>(base);
+  int flags = MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE;
+#ifdef MAP_FIXED_NOREPLACE
+  void* got = mmap(want, Arena::kSlotBytes, PROT_READ | PROT_WRITE,
+                   flags | MAP_FIXED_NOREPLACE, -1, 0);
+  return got == MAP_FAILED ? nullptr : got;
+#else
+  // Portable fallback: a hinted map that must land exactly on the hint.
+  void* got = mmap(want, Arena::kSlotBytes, PROT_READ | PROT_WRITE, flags,
+                   -1, 0);
+  if (got == MAP_FAILED) return nullptr;
+  if (got != want) {
+    munmap(got, Arena::kSlotBytes);
+    return nullptr;
+  }
+  return got;
+#endif
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes, std::uint64_t reserved_base)
+    : block_bytes_(block_bytes) {
   ABCL_CHECK(block_bytes_ >= 4096);
+  if (reserved_base == 0) return;  // block mode
+
+  void* got = nullptr;
+  if (reserved_base == kReserveAuto) {
+    // Probe forward: a slot may be held by a restored arena that was mapped
+    // at its recorded base without going through the counter.
+    for (int attempts = 0; attempts < 4096 && got == nullptr; ++attempts) {
+      std::uint64_t slot = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+      got = map_reservation(kFirstSlotBase + slot * kSlotBytes);
+    }
+    ABCL_CHECK_MSG(got != nullptr,
+                   "arena: could not reserve a fixed-base checkpoint slot");
+  } else {
+    got = map_reservation(reserved_base);
+    ABCL_CHECK_MSG(
+        got != nullptr,
+        ("checkpoint restore: arena base " + std::to_string(reserved_base) +
+         " is unavailable (is the checkpointed world still alive?)")
+            .c_str());
+  }
+  base_ = static_cast<std::byte*>(got);
+  cur_ = base_;
+  end_ = base_ + kSlotBytes;
+  bytes_reserved_ = kSlotBytes;
+}
+
+Arena::~Arena() {
+  if (base_ != nullptr) munmap(base_, kSlotBytes);
 }
 
 void Arena::new_block(std::size_t at_least) {
+  ABCL_CHECK_MSG(base_ == nullptr,
+                 "arena: reserved checkpoint slot exhausted (64 MiB)");
   std::size_t sz = block_bytes_;
   while (sz < at_least) sz *= 2;
   blocks_.push_back(std::make_unique<std::byte[]>(sz));
@@ -33,6 +99,14 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
   cur_ = reinterpret_cast<std::byte*>(aligned) + bytes;
   bytes_allocated_ += bytes;
   return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::restore_image(const void* data, std::size_t used_bytes,
+                          std::size_t bytes_allocated) {
+  ABCL_CHECK(base_ != nullptr && used_bytes <= kSlotBytes);
+  std::memcpy(base_, data, used_bytes);
+  cur_ = base_ + used_bytes;
+  bytes_allocated_ = bytes_allocated;
 }
 
 }  // namespace abcl::util

@@ -3,6 +3,20 @@
 // Every simulated node owns one Arena (its "local heap"); the size-classed
 // SlabAllocator (util/slab.hpp) carves objects, heap frames, reply boxes
 // and chunk memory out of it in whole-slab increments.
+//
+// Two backing modes:
+//  - Block mode (default): malloc'd blocks growing geometrically. Cheap,
+//    but block addresses are wherever malloc put them.
+//  - Reserved mode (checkpoint support): one fixed-base virtual reservation
+//    of kSlotBytes per arena, taken from a process-wide slot registry (or
+//    re-mapped at an exact recorded base on restore). Fixed bases are what
+//    make snapshots address-faithful: a restored arena occupies the same
+//    virtual range, so every pointer embedded in the heap image — message
+//    frame links, slab freelists, MailAddrs inside opaque user state —
+//    remains valid verbatim, with no swizzling pass. The reservation is
+//    MAP_NORESERVE virtual space; pages materialize on first touch, so an
+//    idle node still costs nothing. Only checkpoint-enabled worlds use this
+//    mode; default worlds keep the malloc path bit-for-bit unchanged.
 #pragma once
 
 #include <cstddef>
@@ -16,7 +30,19 @@ namespace abcl::util {
 
 class Arena {
  public:
-  explicit Arena(std::size_t block_bytes = 1u << 20);
+  // Virtual span of one reserved slot — the hard heap cap of a
+  // checkpointable node (virtual, not committed).
+  static constexpr std::size_t kSlotBytes = std::size_t{64} << 20;
+  // `reserved_base` sentinel: take the next free fixed-base slot from the
+  // process-wide registry.
+  static constexpr std::uint64_t kReserveAuto = ~std::uint64_t{0};
+
+  // reserved_base == 0 -> block mode. kReserveAuto -> registry slot.
+  // Any other value -> map the reservation at exactly that base (checkpoint
+  // restore); dies with a diagnostic if the range is unavailable.
+  explicit Arena(std::size_t block_bytes = 1u << 20,
+                 std::uint64_t reserved_base = 0);
+  ~Arena();
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -33,12 +59,27 @@ class Arena {
   std::size_t bytes_allocated() const { return bytes_allocated_; }
   std::size_t bytes_reserved() const { return bytes_reserved_; }
 
+  // Reserved-mode introspection (checkpoint serialization).
+  bool reserved() const { return base_ != nullptr; }
+  std::uint64_t base() const { return reinterpret_cast<std::uint64_t>(base_); }
+  // Bytes of the reservation touched by the bump pointer so far — the
+  // extent of the raw image a snapshot must carry.
+  std::size_t used() const {
+    return base_ == nullptr ? 0 : static_cast<std::size_t>(cur_ - base_);
+  }
+
+  // Checkpoint restore: overwrite this (freshly reserved) arena with a
+  // snapshot image and its allocation counters. Reserved mode only.
+  void restore_image(const void* data, std::size_t used_bytes,
+                     std::size_t bytes_allocated);
+
  private:
   void new_block(std::size_t at_least);
 
   std::size_t block_bytes_;      // next block size; grows geometrically
   std::size_t max_block_bytes_ = 8u << 20;
   std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::byte* base_ = nullptr;    // non-null in reserved mode
   std::byte* cur_ = nullptr;
   std::byte* end_ = nullptr;
   std::size_t bytes_allocated_ = 0;

@@ -113,6 +113,23 @@ class BucketQueue {
     active_sorted_ = true;
   }
 
+  // Visits every live entry in unspecified order (checkpoint serialization
+  // sorts canonically on its own). The consumed prefix [0, active_pos_) of
+  // the active bucket holds already-popped entries awaiting their lazy
+  // erase; buckets behind the cursor are empty (pop clears a drained bucket
+  // and bucket_push clamps at-or-behind-cursor keys into the active one).
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Entry& e : heap_) f(e);
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      const std::vector<Entry>& b = ring_[i];
+      for (std::size_t j = i == cur_ ? active_pos_ : 0; j < b.size(); ++j) {
+        f(b[j]);
+      }
+    }
+    for (const Entry& e : overflow_) f(e);
+  }
+
  private:
   // std::push_heap builds a max-heap; invert Less so the front is the min.
   struct HeapCmp {

@@ -31,6 +31,10 @@
 
 #include "util/arena.hpp"
 
+namespace abcl::ckpt {
+struct WorldIo;
+}
+
 namespace abcl::util {
 
 class SlabAllocator {
@@ -82,6 +86,11 @@ class SlabAllocator {
   std::uint64_t alloc_count() const { return stats_.allocs; }
 
  private:
+  // Checkpoint serializer (src/ckpt/world_io.cpp): snapshots freelist heads
+  // and bump cursors verbatim — freelist chains live inside the (reserved,
+  // address-faithful) arena, so the raw pointers restore as-is.
+  friend struct abcl::ckpt::WorldIo;
+
   struct FreeNode {
     FreeNode* next;
   };

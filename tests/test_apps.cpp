@@ -23,7 +23,7 @@ TEST_P(FibValues, CorrectOnAnyWorld) {
   auto fp = apps::register_fib(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
+  cfg.with_nodes(nodes);
   World world(prog, cfg);
   auto r = apps::run_fib(world, fp, n);
   EXPECT_EQ(r.value, kFib[n]);
@@ -38,7 +38,7 @@ TEST(Fib, RetiredCallNodesAreReclaimed) {
   auto fp = apps::register_fib(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   apps::run_fib(world, fp, 14);
   // Every Fib object retires after replying; only pool chunks remain.
@@ -53,7 +53,7 @@ TEST(PingPong, IntraNodeLatencyMatchesDormantCost) {
   auto pp = apps::register_pingpong(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   auto r = apps::run_pingpong(world, pp, 0, 0, 1000);
   // Table 1: intra-node past-type to a dormant object = 2.3 us region.
@@ -68,7 +68,7 @@ TEST(PingPong, InterNodeLatencyInPaperBand) {
   auto pp = apps::register_pingpong(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   auto r = apps::run_pingpong(world, pp, 0, 1, 2000);
   // Table 1: minimum inter-node latency 8.9 us; we assert the same order of
@@ -82,8 +82,8 @@ TEST(PingPong, LatencyGrowsWithDistance) {
   auto pp = apps::register_pingpong(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 64;  // 8x8 torus
-  cfg.topology = net::TopologyKind::kMesh2D;
+  cfg.with_nodes(64);  // 8x8 torus
+  cfg.with_topology(net::TopologyKind::kMesh2D);
   World world1(prog, cfg);
   auto near = apps::run_pingpong(world1, pp, 0, 1, 500);
   World world2(prog, cfg);
@@ -98,7 +98,7 @@ TEST(Latch, AccumulatesAndCompletes) {
   auto lp = register_completion_latch(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   MailAddr l;
   world.boot(0, [&](Ctx& ctx) {
@@ -120,7 +120,7 @@ TEST(Latch, PendingGetIsAnsweredOnCompletion) {
   auto ap = testsup::register_asker(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   MailAddr l, a;
   world.boot(0, [&](Ctx& ctx) {
@@ -145,7 +145,7 @@ TEST(InlineGuard, HitsOnlyLocalDormantReceiversOfTheClass) {
   auto dp = testsup::register_delay(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   MailAddr remote_c;
   world.boot(1, [&](Ctx& ctx) {

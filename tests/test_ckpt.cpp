@@ -1,0 +1,470 @@
+// Checkpoint/restore tests: the ABCLSIM_CHECKPOINT spec grammar, the
+// WorldConfig precedence contract (from_env + with_* overrides), stop
+// reasons, quanta accounting across a restore, snapshot determinism
+// (byte-identical re-capture), the never-a-partial-world integrity gates
+// (versioning, truncation, corrupted-byte fuzz) and the snapshot-equivalence
+// oracle: run-to-T + checkpoint + restore + continue must be byte-identical
+// to the uninterrupted run across the serial and host-parallel drivers,
+// with faults and migration both off and on — plus a crash-recovery drill
+// that loses a segment of the run and replays it from the last checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "abcl/machine_api.hpp"
+#include "abcl/termination.hpp"
+#include "ckpt/snapshot.hpp"
+#include "fuzz/interp.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/program_gen.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace abcl;
+
+constexpr int kSerial = -1;
+
+// Saves/restores one environment variable around a test body.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+ckpt::CheckpointConfig at_config(std::uint64_t at) {
+  ckpt::CheckpointConfig ck;
+  ck.enabled = true;
+  ck.at = at;
+  return ck;
+}
+
+// ------------------------------------------------ spec grammar + knob ------
+
+TEST(CkptSpec, UnsetOrOffMeansDisabled) {
+  std::string err;
+  for (const char* text : {static_cast<const char*>(nullptr), "", "off"}) {
+    auto cfg = ckpt::parse_checkpoint_spec(text, &err);
+    ASSERT_TRUE(cfg.has_value()) << err;
+    EXPECT_FALSE(cfg->enabled);
+  }
+}
+
+TEST(CkptSpec, ParsesAtAndOptionalPath) {
+  std::string err;
+  auto cfg = ckpt::parse_checkpoint_spec("at=5000", &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_TRUE(cfg->enabled);
+  EXPECT_EQ(cfg->at, 5000u);
+  EXPECT_TRUE(cfg->path.empty());
+
+  cfg = ckpt::parse_checkpoint_spec(" at = 12 , path = /tmp/w.ck ", &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->at, 12u);
+  EXPECT_EQ(cfg->path, "/tmp/w.ck");
+}
+
+TEST(CkptSpec, ToStringRoundTrips) {
+  for (const char* text : {"off", "at=5000", "at=12,path=/tmp/w.ck"}) {
+    std::string err;
+    auto cfg = ckpt::parse_checkpoint_spec(text, &err);
+    ASSERT_TRUE(cfg.has_value()) << err;
+    auto again = ckpt::parse_checkpoint_spec(to_string(*cfg).c_str(), &err);
+    ASSERT_TRUE(again.has_value()) << err;
+    EXPECT_EQ(*cfg, *again);
+    EXPECT_EQ(to_string(*cfg), to_string(*again));
+  }
+}
+
+TEST(CkptSpec, GarbageNeverSilentlyDisables) {
+  for (const char* text : {"at=zap", "at=0", "path=/tmp/x", "at=5,at=6",
+                           "bogus=1", "at=", "at=5,"}) {
+    std::string err;
+    auto cfg = ckpt::parse_checkpoint_spec(text, &err);
+    EXPECT_FALSE(cfg.has_value()) << text;
+    EXPECT_NE(err.find("checkpoint spec"), std::string::npos) << err;
+  }
+}
+
+TEST(CkptSpec, ValidateRejectsZeroBoundary) {
+  ckpt::CheckpointConfig cfg;
+  cfg.enabled = true;
+  cfg.at = 0;
+  std::string err;
+  EXPECT_FALSE(ckpt::validate_checkpoint_config(cfg, &err));
+  EXPECT_NE(err.find("at must be >= 1"), std::string::npos) << err;
+  cfg.enabled = false;  // a disabled config is always valid
+  EXPECT_TRUE(ckpt::validate_checkpoint_config(cfg, &err));
+}
+
+TEST(CkptEnv, UnsetMeansDisabled) {
+  ScopedEnv e("ABCLSIM_CHECKPOINT", nullptr);
+  EXPECT_FALSE(WorldConfig::from_env().ckpt.enabled);
+}
+
+TEST(CkptEnv, ReadsFullSpec) {
+  ScopedEnv e("ABCLSIM_CHECKPOINT", "at=777,path=snap.bin");
+  WorldConfig cfg = WorldConfig::from_env();
+  EXPECT_TRUE(cfg.ckpt.enabled);
+  EXPECT_EQ(cfg.ckpt.at, 777u);
+  EXPECT_EQ(cfg.ckpt.path, "snap.bin");
+}
+
+TEST(CkptEnvDeath, GarbageAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ScopedEnv e("ABCLSIM_CHECKPOINT", "at=nope");
+  EXPECT_DEATH({ WorldConfig::from_env(); }, "ABCLSIM_CHECKPOINT");
+}
+
+// ------------------------------------------- config precedence contract ----
+
+// Last-wins precedence, direction 1: every environment-controlled knob is
+// read by from_env(), and a subsequent with_* override replaces it.
+// Direction 2: overriding one knob leaves every other env-derived knob
+// untouched, and a repeated with_* keeps the last value.
+TEST(ConfigPrecedence, EnvThenBuilderOverrideForEveryKnob) {
+  ScopedEnv e1("ABCLSIM_HOST_THREADS", "3");
+  ScopedEnv e2("ABCLSIM_POOLING", "0");
+  ScopedEnv e3("ABCLSIM_QUEUE", "heap");
+  ScopedEnv e4("ABCLSIM_FLUSH", "sort");
+  ScopedEnv e5("ABCLSIM_FAULTS", "drop=0.05,seed=9");
+  ScopedEnv e6("ABCLSIM_MIGRATION", "interval=16,seed=3");
+  ScopedEnv e7("ABCLSIM_CHECKPOINT", "at=123,path=env.ck");
+
+  WorldConfig cfg = WorldConfig::from_env();
+  // from_env() picked up every variable.
+  EXPECT_EQ(cfg.host_threads, 3);
+  EXPECT_FALSE(cfg.pooling);
+  EXPECT_EQ(cfg.queue, util::QueueKind::kHeap);
+  EXPECT_EQ(cfg.flush, net::FlushKind::kSort);
+  EXPECT_TRUE(cfg.faults.enabled);
+  EXPECT_EQ(cfg.faults.drop_ppm, 50'000u);
+  EXPECT_TRUE(cfg.migration.enabled);
+  EXPECT_EQ(cfg.migration.interval, 16u);
+  EXPECT_TRUE(cfg.ckpt.enabled);
+  EXPECT_EQ(cfg.ckpt.at, 123u);
+
+  // with_* overrides win over the environment, knob by knob.
+  net::FaultConfig fc;
+  fc.enabled = true;
+  fc.dup_ppm = 10'000;
+  remote::MigrationConfig mc;
+  mc.enabled = true;
+  mc.interval = 64;
+  cfg.with_host_threads(7)
+      .with_pooling(true)
+      .with_queue(util::QueueKind::kBucket)
+      .with_flush(net::FlushKind::kMerge)
+      .with_faults(fc)
+      .with_migration(mc)
+      .with_ckpt(at_config(456));
+  EXPECT_EQ(cfg.host_threads, 7);
+  EXPECT_TRUE(cfg.pooling);
+  EXPECT_EQ(cfg.queue, util::QueueKind::kBucket);
+  EXPECT_EQ(cfg.flush, net::FlushKind::kMerge);
+  EXPECT_EQ(cfg.faults.dup_ppm, 10'000u);
+  EXPECT_EQ(cfg.faults.drop_ppm, 0u);
+  EXPECT_EQ(cfg.migration.interval, 64u);
+  EXPECT_EQ(cfg.ckpt.at, 456u);
+  EXPECT_TRUE(cfg.ckpt.path.empty());
+}
+
+TEST(ConfigPrecedence, OverridingOneKnobLeavesTheOthersAlone) {
+  ScopedEnv e1("ABCLSIM_HOST_THREADS", "3");
+  ScopedEnv e2("ABCLSIM_POOLING", nullptr);
+  ScopedEnv e3("ABCLSIM_QUEUE", "heap");
+  ScopedEnv e4("ABCLSIM_FLUSH", nullptr);
+  ScopedEnv e5("ABCLSIM_FAULTS", "drop=0.05,seed=9");
+  ScopedEnv e6("ABCLSIM_MIGRATION", nullptr);
+  ScopedEnv e7("ABCLSIM_CHECKPOINT", "at=123");
+
+  WorldConfig cfg = WorldConfig::from_env().with_nodes(64).with_seed(5);
+  EXPECT_EQ(cfg.nodes, 64);
+  EXPECT_EQ(cfg.seed, 5u);
+  // Env-derived knobs survive unrelated with_* calls.
+  EXPECT_EQ(cfg.host_threads, 3);
+  EXPECT_EQ(cfg.queue, util::QueueKind::kHeap);
+  EXPECT_TRUE(cfg.faults.enabled);
+  EXPECT_TRUE(cfg.ckpt.enabled);
+  EXPECT_EQ(cfg.ckpt.at, 123u);
+
+  // Repeated with_* on the same knob: last one wins.
+  cfg.with_seed(9).with_seed(11);
+  EXPECT_EQ(cfg.seed, 11u);
+  cfg.with_ckpt(at_config(7)).with_ckpt(at_config(8));
+  EXPECT_EQ(cfg.ckpt.at, 8u);
+}
+
+// ------------------------------------------------- world-level contract ----
+
+TEST(CkptWorldDeath, CheckpointingRequiresPooling) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  core::Program prog;
+  fuzz::register_interp(prog);
+  prog.finalize();
+  WorldConfig cfg;
+  cfg.with_pooling(false).with_ckpt(at_config(100));
+  EXPECT_DEATH({ World w(prog, cfg); }, "requires pooling");
+}
+
+TEST(CkptWorldDeath, CheckpointWithoutConfigDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  core::Program prog;
+  fuzz::register_interp(prog);
+  prog.finalize();
+  World w(prog, WorldConfig{});
+  ckpt::MemSink sink;
+  EXPECT_DEATH({ w.checkpoint(sink); }, "not built with checkpointing");
+}
+
+TEST(CkptWorld, StopReasonsAndToString) {
+  EXPECT_STREQ(to_string(StopReason::kQuiesced), "quiesced");
+  EXPECT_STREQ(to_string(StopReason::kMaxTime), "max_time");
+  EXPECT_STREQ(to_string(StopReason::kCheckpointRequested),
+               "checkpoint_requested");
+
+  const fuzz::Spec spec = fuzz::generate(1);
+  {
+    // No checkpoint: a truncated run reports kMaxTime, a full one kQuiesced.
+    fuzz::FuzzWorld fw(spec, kSerial);
+    RunReport r = fw.world().run(1);
+    EXPECT_EQ(r.stop_reason, StopReason::kMaxTime);
+    r = fw.world().run();
+    EXPECT_EQ(r.stop_reason, StopReason::kQuiesced);
+    EXPECT_TRUE(fw.latch().done());
+    EXPECT_FALSE(fw.world().work_remaining());
+  }
+}
+
+TEST(CkptWorld, ResumedQuantaAccountingAcrossRestore) {
+  const fuzz::Spec spec = fuzz::generate(2);
+  const fuzz::RunResult base = fuzz::run_spec(spec, kSerial);
+  const std::uint64_t at = base.sim_time / 2 + 1;
+
+  fuzz::FuzzWorld fw(spec, kSerial, nullptr, sim::CostModel::ap1000(),
+                     util::QueueKind::kBucket, net::FlushKind::kMerge,
+                     at_config(at));
+  RunReport r1 = fw.world().run();
+  EXPECT_EQ(r1.stop_reason, StopReason::kCheckpointRequested);
+  EXPECT_TRUE(fw.world().work_remaining());
+  // The driver stops *starting* quanta keyed past `at`; the final quantum
+  // may carry a clock beyond it, but the run stopped well short of the end.
+  EXPECT_LT(r1.sim_time, base.sim_time);
+  EXPECT_EQ(fw.world().resumed_quanta(), 0u);
+
+  ckpt::MemSink sink;
+  fw.checkpoint_to(sink);
+  ckpt::MemSource src(sink.take());
+  fw.restore_world(src);
+  EXPECT_EQ(fw.world().resumed_quanta(), r1.quanta);
+
+  RunReport r2 = fw.world().run();
+  EXPECT_EQ(r2.stop_reason, StopReason::kQuiesced);
+  EXPECT_EQ(r1.quanta + r2.quanta, base.quanta);
+  EXPECT_EQ(r2.sim_time, base.sim_time);
+  EXPECT_TRUE(fw.latch().done());
+}
+
+TEST(CkptWorld, FileCheckpointIsTransparentAndRecaptureRoundTrips) {
+  const fuzz::Spec spec = fuzz::generate(3);
+  const fuzz::RunResult base = fuzz::run_spec(spec, kSerial);
+  ckpt::CheckpointConfig ck = at_config(base.sim_time / 2 + 1);
+  ck.path = ::testing::TempDir() + "abclsim_snap.bin";
+
+  // Fire-and-forget: a path-configured checkpoint writes the file at the
+  // boundary and resumes inside the same run() call, so a
+  // checkpoint-unaware caller sees the uninterrupted run's results.
+  fuzz::FuzzWorld fw(spec, kSerial, nullptr, sim::CostModel::ap1000(),
+                     util::QueueKind::kBucket, net::FlushKind::kMerge, ck);
+  RunReport r1 = fw.world().run();
+  EXPECT_EQ(r1.stop_reason, StopReason::kQuiesced);
+  EXPECT_EQ(r1.quanta, base.quanta);
+  EXPECT_EQ(r1.sim_time, base.sim_time);
+  EXPECT_TRUE(fw.latch().done());
+  std::optional<std::string> file = obs::read_file(ck.path);
+  ASSERT_TRUE(file.has_value());
+
+  // Restoring the mid-run snapshot rewinds the world to the boundary, and
+  // recapturing the restored world is byte-identical to the file — restore
+  // is lossless and serialization is canonical (capture twice to also pin
+  // that checkpoint() itself doesn't perturb state).
+  ckpt::FileSource src(ck.path);
+  fw.restore_world(src);
+  ckpt::MemSink a, b;
+  fw.checkpoint_to(a);
+  fw.checkpoint_to(b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_EQ(a.bytes(), *file);
+
+  // Replaying from the boundary finishes exactly like the baseline.
+  RunReport r2 = fw.world().run();
+  EXPECT_EQ(fw.world().resumed_quanta() + r2.quanta, base.quanta);
+  EXPECT_EQ(r2.sim_time, base.sim_time);
+  EXPECT_TRUE(fw.latch().done());
+  std::remove(ck.path.c_str());
+}
+
+// ------------------------------------------- never a partial world ---------
+
+std::string snapshot_bytes(std::uint64_t seed) {
+  const fuzz::Spec spec = fuzz::generate(seed);
+  const fuzz::RunResult base = fuzz::run_spec(spec, kSerial);
+  fuzz::FuzzWorld fw(spec, kSerial, nullptr, sim::CostModel::ap1000(),
+                     util::QueueKind::kBucket, net::FlushKind::kMerge,
+                     at_config(base.sim_time / 2 + 1));
+  fw.world().run();
+  ckpt::MemSink sink;
+  fw.checkpoint_to(sink);
+  return sink.take();
+}
+
+// A Program with the same registry the snapshot was captured under. The
+// corrupted streams below die inside Reader validation, before any World
+// state exists — which is exactly the contract under test.
+void expect_restore_death(const std::string& bytes, const char* diagnostic) {
+  core::Program prog;
+  fuzz::register_interp(prog);
+  register_completion_latch(prog);
+  prog.finalize();
+  ckpt::MemSource src(bytes);
+  EXPECT_DEATH({ World::restore(prog, src); }, diagnostic);
+}
+
+TEST(CkptIntegrityDeath, TruncatedAndFramedStreamsNeverBuildAWorld) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string bytes = snapshot_bytes(4);
+  ASSERT_GT(bytes.size(), 48u);
+
+  expect_restore_death(bytes.substr(0, 20),
+                       "shorter than the snapshot header");
+  expect_restore_death(bytes.substr(0, bytes.size() - 7),
+                       "payload shorter than the header claims");
+  expect_restore_death(bytes + "x", "trailing bytes after the snapshot");
+
+  std::string s = bytes;
+  s[0] ^= 0x5a;  // magic (header bytes 0..7)
+  expect_restore_death(s, "bad magic");
+
+  s = bytes;
+  s[8] ^= 0x5a;  // version (header bytes 8..11)
+  expect_restore_death(s, "snapshot version");
+
+  s = bytes;
+  s[16] ^= 0x5a;  // program fingerprint (header bytes 16..23)
+  expect_restore_death(s, "different Program");
+
+  s = bytes;
+  s[32] ^= 0x5a;  // checksum (header bytes 32..39)
+  expect_restore_death(s, "checksum mismatch");
+}
+
+TEST(CkptIntegrityDeath, CorruptedPayloadBytesNeverBuildAWorld) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string bytes = snapshot_bytes(4);
+  const std::size_t payload = bytes.size() - 40;
+  ASSERT_GT(payload, 8u);
+  // One flipped byte at each of several positions spread across the
+  // payload; every one must be caught by the up-front checksum.
+  for (std::size_t frac : {0u, 1u, 2u, 3u, 4u}) {
+    std::string s = bytes;
+    s[40 + (payload - 1) * frac / 4] ^= 0x5a;
+    expect_restore_death(s, "checksum mismatch");
+  }
+}
+
+TEST(CkptIntegrityDeath, DifferentProgramIsRejectedByFingerprint) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string bytes = snapshot_bytes(4);
+  // A program missing the completion latch's handlers: same binary, wrong
+  // registry. The fingerprint gate must fire before anything is built.
+  core::Program prog;
+  fuzz::register_interp(prog);
+  prog.finalize();
+  ckpt::MemSource src(bytes);
+  EXPECT_DEATH({ World::restore(prog, src); }, "different Program");
+}
+
+// --------------------------------------- snapshot-equivalence oracle -------
+
+TEST(CkptEquivalence, SmokeAcrossDriversAndCrashRecovery) {
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::OracleResult r = fuzz::check_spec_checkpoint(fuzz::generate(seed));
+    EXPECT_TRUE(r.ok) << r.failure;
+  }
+}
+
+TEST(CkptEquivalence, ExplicitBoundariesAndLateCheckpoint) {
+  const fuzz::Spec spec = fuzz::generate(5);
+  const fuzz::RunResult base = fuzz::run_spec(spec, kSerial);
+  // A boundary past quiescence: the world drains first, the snapshot
+  // captures the drained world, and the resumed run is a no-op.
+  fuzz::RunResult late =
+      fuzz::run_spec_with_checkpoint(spec, kSerial, base.sim_time + 1000);
+  EXPECT_EQ(late.metrics_json, base.metrics_json);
+  EXPECT_EQ(late.trace_hash, base.trace_hash);
+  EXPECT_EQ(late.quanta, base.quanta);
+  // An early boundary right after boot.
+  fuzz::RunResult early = fuzz::run_spec_with_checkpoint(spec, kSerial, 1);
+  EXPECT_EQ(early.metrics_json, base.metrics_json);
+  EXPECT_EQ(early.trace_hash, base.trace_hash);
+}
+
+// The corpus gates. Every seed: uninterrupted serial baseline vs
+// checkpoint+restore under serial and 1/2/8 workers, a cross-driver
+// restore, and a crash-recovery replay — all byte-identical.
+TEST(CkptFuzz, SnapshotEquivalenceCorpus) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::OracleResult r = fuzz::check_spec_checkpoint(fuzz::generate(seed));
+    ASSERT_TRUE(r.ok) << r.failure;
+  }
+}
+
+TEST(CkptFuzz, SnapshotEquivalenceUnderFaultsAndMigration) {
+  net::FaultConfig fc;
+  fc.enabled = true;
+  fc.drop_ppm = 80'000;
+  fc.dup_ppm = 40'000;
+  fc.delay_ppm = 80'000;
+  fc.seed = 17;
+  remote::MigrationConfig mc;
+  mc.enabled = true;
+  mc.interval = 8;
+  mc.hysteresis = 1;
+  mc.max_batch = 4;
+  mc.min_queue = 2;
+  mc.seed = 5;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    fuzz::Spec spec = fuzz::generate(seed);
+    spec.faults = fc;
+    spec.migration = mc;
+    fuzz::OracleResult r = fuzz::check_spec_checkpoint(spec);
+    ASSERT_TRUE(r.ok) << r.failure;
+  }
+}
+
+}  // namespace

@@ -40,7 +40,7 @@ TEST(Edge, MaxArityMessageLocalAndRemote) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   MailAddr local, remote;
   Word args[core::kMaxArgs];
@@ -87,7 +87,7 @@ TEST(Edge, NonTriviallyCopyableStateIsConstructedAndDestroyed) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   MailAddr f;
   world.boot(0, [&](Ctx& ctx) {
@@ -111,7 +111,7 @@ TEST(Edge, LargeWorldBootsAndRuns) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1024;
+  cfg.with_nodes(1024);
   World world(prog, cfg);
   MailAddr far;
   world.boot(1023, [&](Ctx& ctx) { far = ctx.create_local(*cp.cls, nullptr, 0); });
@@ -127,7 +127,7 @@ TEST(Edge, EveryNodeTalksToEveryOther) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 12;
+  cfg.with_nodes(12);
   World world(prog, cfg);
   std::vector<MailAddr> counters(12);
   for (NodeId nid = 0; nid < 12; ++nid) {
@@ -157,7 +157,7 @@ TEST(Edge, MaxTimeBoundsTheRun) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   MailAddr c;
   world.boot(1, [&](Ctx& ctx) { c = ctx.create_local(*cp.cls, nullptr, 0); });
@@ -179,7 +179,7 @@ TEST(Edge, EmptyWorldRunsToImmediateQuiescence) {
   apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   RunReport rep = world.run();
   EXPECT_EQ(rep.quanta, 0u);
@@ -191,7 +191,7 @@ TEST(Edge, RunIsIdempotentAtQuiescence) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   MailAddr c;
   world.boot(1, [&](Ctx& ctx) { c = ctx.create_local(*cp.cls, nullptr, 0); });
@@ -240,7 +240,7 @@ TEST(Edge, ArgPackDrivesSends) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   MailAddr c;
   world.boot(0, [&](Ctx& ctx) {
@@ -265,7 +265,7 @@ TEST(Edge, SelfSendWhileDormantViaBootIsImmediate) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   MailAddr c;
   world.boot(0, [&](Ctx& ctx) {

@@ -88,7 +88,7 @@ TEST(Figure1, IntraNodeSchedulingStrategy) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   clear_log();
   world.boot(0, [&](Ctx& ctx) {
@@ -185,7 +185,7 @@ TEST(Figure3, StackUnwindingOnNowTypeToActiveReceiver) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   clear_log();
   MailAddr s, r;
@@ -267,7 +267,7 @@ TEST(Spill, AllFrameFieldsSurviveRepeatedBlocks) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   MailAddr sp, d;
   world.boot(0, [&](Ctx& ctx) {

@@ -84,9 +84,9 @@ Fingerprint run_nqueens_fp(int host_threads, int nodes, int n,
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.host_threads = host_threads;
-  cfg.pooling = pooling;
+  cfg.with_nodes(nodes);
+  cfg.with_host_threads(host_threads);
+  cfg.with_pooling(pooling);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 20);
   world.attach_tracer(&tracer);
@@ -115,9 +115,9 @@ Fingerprint run_nqueens_faulty_fp(int host_threads, int nodes, int n,
   fc.delay_ppm = 100'000;  // 10% reorder-delay
   fc.seed = fault_seed;
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.host_threads = host_threads;
-  cfg.faults = fc;
+  cfg.with_nodes(nodes);
+  cfg.with_host_threads(host_threads);
+  cfg.with_faults(fc);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 20);
   world.attach_tracer(&tracer);
@@ -141,8 +141,8 @@ Fingerprint run_sieve_fp(int host_threads, int nodes, std::int64_t limit) {
   auto sp = apps::register_sieve(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.host_threads = host_threads;
+  cfg.with_nodes(nodes);
+  cfg.with_host_threads(host_threads);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 20);
   world.attach_tracer(&tracer);
@@ -160,8 +160,8 @@ Fingerprint run_pingpong_fp(int host_threads, int nodes, std::uint64_t rounds) {
   auto pp = apps::register_pingpong(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.host_threads = host_threads;
+  cfg.with_nodes(nodes);
+  cfg.with_host_threads(host_threads);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 18);
   world.attach_tracer(&tracer);
@@ -401,21 +401,21 @@ TEST(HostThreads, EnvVariableSelectsDriver) {
   ASSERT_EQ(setenv("ABCLSIM_HOST_THREADS", "3", 1), 0);
   {
     WorldConfig cfg;
-    cfg.nodes = 2;
+    cfg.with_nodes(2);
     World world(prog, cfg);
     EXPECT_EQ(world.host_threads(), 3);
   }
   ASSERT_EQ(unsetenv("ABCLSIM_HOST_THREADS"), 0);
   {
     WorldConfig cfg;
-    cfg.nodes = 2;
+    cfg.with_nodes(2);
     World world(prog, cfg);
     EXPECT_EQ(world.host_threads(), 1);  // serial
   }
   {
     WorldConfig cfg;
-    cfg.nodes = 2;
-    cfg.host_threads = 5;  // explicit config beats the environment
+    cfg.with_nodes(2);
+    cfg.with_host_threads(5);  // explicit config beats the environment
     World world(prog, cfg);
     EXPECT_EQ(world.host_threads(), 5);
   }
@@ -464,7 +464,7 @@ TEST(EnvKnobs, QueueAndFlushSelection) {
     core::Program prog;
     apps::register_pingpong(prog);
     prog.finalize();
-    cfg.nodes = 2;
+    cfg.with_nodes(2);
     World world(prog, cfg);
     EXPECT_EQ(world.network().queue_kind(), util::QueueKind::kHeap);
     EXPECT_EQ(world.network().flush_kind(), net::FlushKind::kSort);

@@ -228,7 +228,7 @@ TEST(Migration, InboxCarriesOverInFifoOrder) {
   RecProgram rp = register_rec(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) {
@@ -259,7 +259,7 @@ TEST(Migration, ForwardingStubBouncesAndCompressesPerSender) {
   RecProgram rp = register_rec(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) { a = ctx.create_local(*rp.cls, {}); });
@@ -296,7 +296,7 @@ TEST(Migration, SecondHopCollapsesOldStubChains) {
   RecProgram rp = register_rec(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) { a = ctx.create_local(*rp.cls, {}); });
@@ -370,7 +370,7 @@ TEST(Migration, WaitingObjectMovesWithItsBlockedFrame) {
   WaitProgram wp = register_wait(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 3;
+  cfg.with_nodes(3);
   World world(prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) {
@@ -415,7 +415,7 @@ TEST(MigrationDeath, NonMigratableClassIsRejected) {
   def.method<PlainFrame>(p);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) { a = ctx.create_local(def.info(), {}); });
@@ -475,7 +475,7 @@ TEST(MigrationHotSpot, SixNodeShedSpreadsLoadDeterministically) {
     prog.finalize();
 
     WorldConfig cfg;
-    cfg.nodes = kNodes;
+    cfg.with_nodes(kNodes);
     if (migrate) {
       MigrationConfig mc;
       mc.enabled = true;
@@ -484,7 +484,7 @@ TEST(MigrationHotSpot, SixNodeShedSpreadsLoadDeterministically) {
       mc.max_batch = 4;
       mc.min_queue = 6;
       mc.seed = 5;
-      cfg.migration = mc;
+      cfg.with_migration(mc);
     }
     World world(prog, cfg);
     std::vector<MailAddr> actors;

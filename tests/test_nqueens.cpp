@@ -45,10 +45,10 @@ TEST_P(NQueensShapes, ExactSolutionsAndCounts) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = s.nodes;
+  cfg.with_nodes(s.nodes);
   cfg.node.policy = s.policy;
-  cfg.placement = s.placement;
-  cfg.topology = s.topology;
+  cfg.with_placement(s.placement);
+  cfg.with_topology(s.topology);
   World world(prog, cfg);
 
   apps::NQueensParams p;
@@ -98,13 +98,13 @@ TEST(NQueens, ParallelismActuallyHelps) {
   sim::Instr t1, t16;
   {
     WorldConfig cfg;
-    cfg.nodes = 1;
+    cfg.with_nodes(1);
     World world(prog, cfg);
     t1 = apps::run_nqueens(world, np, p).sim_time;
   }
   {
     WorldConfig cfg;
-    cfg.nodes = 16;
+    cfg.with_nodes(16);
     World world(prog, cfg);
     t16 = apps::run_nqueens(world, np, p).sim_time;
   }
@@ -121,13 +121,13 @@ TEST(NQueens, StackBeatsNaive) {
   sim::Instr stack_t, naive_t;
   {
     WorldConfig cfg;
-    cfg.nodes = 16;
+    cfg.with_nodes(16);
     World world(prog, cfg);
     stack_t = apps::run_nqueens(world, np, p).sim_time;
   }
   {
     WorldConfig cfg;
-    cfg.nodes = 16;
+    cfg.with_nodes(16);
     cfg.node.policy = core::SchedPolicy::kNaive;
     World world(prog, cfg);
     naive_t = apps::run_nqueens(world, np, p).sim_time;
@@ -141,7 +141,7 @@ TEST(NQueens, MajorityOfLocalMessagesHitDormantObjects) {
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 16;
+  cfg.with_nodes(16);
   World world(prog, cfg);
   apps::NQueensParams p;
   p.n = 9;
@@ -161,9 +161,9 @@ TEST(NQueens, DeterministicAcrossIdenticalRuns) {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 16;
-    cfg.placement = remote::PlacementKind::kRandom;  // exercises the RNG
-    cfg.seed = seed;
+    cfg.with_nodes(16);
+    cfg.with_placement(remote::PlacementKind::kRandom);  // exercises the RNG
+    cfg.with_seed(seed);
     World world(prog, cfg);
     auto r = apps::run_nqueens(world, np, p);
     return std::tuple<sim::Instr, std::uint64_t, std::int64_t>(

@@ -175,8 +175,8 @@ Snapshots run_nqueens_snapshots(int host_threads, int nodes, int n) {
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.host_threads = host_threads;
+  cfg.with_nodes(nodes);
+  cfg.with_host_threads(host_threads);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 20);
   world.attach_tracer(&tracer);
@@ -228,7 +228,7 @@ TEST(MetricsSnapshot, FaultsBlockOnlyWhenEnabled) {
   auto np = apps::register_nqueens(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 8;
+  cfg.with_nodes(8);
   cfg.faults.enabled = true;
   cfg.faults.drop_ppm = 100'000;
   cfg.faults.dup_ppm = 50'000;
@@ -290,7 +290,7 @@ TEST(MetricsSnapshot, WorksOnZeroQuantumWorld) {
   apps::register_pingpong(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   // No boot, no run: every counter is zero; nothing divides by zero.
   EXPECT_DOUBLE_EQ(world.mean_utilization(), 0.0);
@@ -345,7 +345,7 @@ TEST(ChromeTrace, PayloadsCarryRuntimeMeaning) {
   auto fp = apps::register_fib(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 16);
   world.attach_tracer(&tracer);

@@ -25,7 +25,7 @@ struct Fixture {
 TEST(Placement, SelfAlwaysReturnsHome) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 8;
+  cfg.with_nodes(8);
   World world(fx.prog, cfg);
   remote::Placement p(remote::PlacementKind::kSelf);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(p.choose(world.node(3)), 3);
@@ -34,7 +34,7 @@ TEST(Placement, SelfAlwaysReturnsHome) {
 TEST(Placement, RoundRobinCyclesOverAllNodes) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 8;
+  cfg.with_nodes(8);
   World world(fx.prog, cfg);
   remote::Placement p(remote::PlacementKind::kRoundRobin);
   std::set<NodeId> seen;
@@ -45,7 +45,7 @@ TEST(Placement, RoundRobinCyclesOverAllNodes) {
 TEST(Placement, RandomStaysInRangeAndSpreads) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 16;
+  cfg.with_nodes(16);
   World world(fx.prog, cfg);
   remote::Placement p(remote::PlacementKind::kRandom);
   std::set<NodeId> seen;
@@ -61,7 +61,7 @@ TEST(Placement, RandomStaysInRangeAndSpreads) {
 TEST(Placement, NeighborReturnsOneHopTargets) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 16;  // 4x4 torus
+  cfg.with_nodes(16);  // 4x4 torus
   World world(fx.prog, cfg);
   remote::Placement p(remote::PlacementKind::kNeighbor);
   const auto& topo = world.network().topology();
@@ -74,7 +74,7 @@ TEST(Placement, NeighborReturnsOneHopTargets) {
 TEST(Placement, SingleNodeWorldAlwaysSelf) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   for (auto kind :
        {remote::PlacementKind::kSelf, remote::PlacementKind::kRoundRobin,
@@ -88,7 +88,7 @@ TEST(Placement, SingleNodeWorldAlwaysSelf) {
 TEST(Placement, LeastLoadedUsesGossipedLoads) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 16;
+  cfg.with_nodes(16);
   World world(fx.prog, cfg);
   auto& rt = world.node(5);
   auto nbs = world.network().topology().neighbors(5);
@@ -140,7 +140,7 @@ TEST(Placement, LeastLoadedFallsBackToSelfWhenGossipSilent) {
   // dumping it on a peer it knows nothing about.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 16;
+  cfg.with_nodes(16);
   cfg.node.max_call_depth = 0;  // no direct calls: boot sends really queue
   World world(fx.prog, cfg);
   // Boot enqueues real work on node 5, so self reports a nonzero load —
@@ -165,7 +165,7 @@ TEST(Placement, LeastLoadedFallsBackToSelfWhenGossipSilent) {
 TEST(Placement, GossipServiceDistributesLoads) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(fx.prog, cfg);
   world.boot(1, [&](Ctx& ctx) { ctx.gossip_load_now(); });
   world.run();

@@ -186,7 +186,7 @@ TEST(ProgramDeath, WorldRequiresFinalizedProgram) {
   core::Program prog;
   apps::register_counter(prog);
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   EXPECT_DEATH({ World w(prog, cfg); }, "finalize");
 }
 

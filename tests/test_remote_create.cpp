@@ -87,7 +87,7 @@ TEST(RemoteCreate, OverfullStockDrainsBackToTargetInsteadOfGrowing) {
   // depth + in-flight < target, an overfull stock must decay to the target.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(fx.prog, cfg);
   world.seed_stocks(*fx.counter.cls, 4);  // above the default target of 2
   MailAddr sp;
@@ -106,7 +106,7 @@ TEST(RemoteCreate, OverfullStockDrainsBackToTargetInsteadOfGrowing) {
 TEST(RemoteCreate, FirstCreateMissesThenStockStaysWarm) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(fx.prog, cfg);
   MailAddr sp;
   world.boot(0, [&](Ctx& ctx) { sp = ctx.create_local(*fx.spawner.cls, nullptr, 0); });
@@ -138,7 +138,7 @@ TEST(RemoteCreate, FirstCreateMissesThenStockStaysWarm) {
 TEST(RemoteCreate, SeededStocksNeverMiss) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(fx.prog, cfg);
   world.seed_stocks(*fx.counter.cls, 2);
   MailAddr sp;
@@ -154,7 +154,7 @@ TEST(RemoteCreate, SeededStocksNeverMiss) {
 TEST(RemoteCreate, ManyCreationsAllDistinctAndInitialized) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 3;
+  cfg.with_nodes(3);
   World world(fx.prog, cfg);
   MailAddr sp;
   world.boot(0, [&](Ctx& ctx) { sp = ctx.create_local(*fx.spawner.cls, nullptr, 0); });
@@ -175,7 +175,7 @@ TEST(RemoteCreate, MessagesRacingAheadAreFaultQueuedThenProcessedInOrder) {
   // table and must be queued, then processed after installation, in order.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 3;
+  cfg.with_nodes(3);
   World world(fx.prog, cfg);
 
   // Manufacture the race deterministically: format a chunk on node 1 and
@@ -207,7 +207,7 @@ TEST(RemoteCreate, MessagesRacingAheadAreFaultQueuedThenProcessedInOrder) {
 TEST(RemoteCreate, LocalTargetFallsBackToLocalCreation) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(fx.prog, cfg);
   MailAddr sp;
   world.boot(0, [&](Ctx& ctx) { sp = ctx.create_local(*fx.spawner.cls, nullptr, 0); });
@@ -222,7 +222,7 @@ TEST(RemoteCreate, LocalTargetFallsBackToLocalCreation) {
 TEST(RemoteCreate, ReplenishUsesPerSizeClassHandlers) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(fx.prog, cfg);
   MailAddr sp;
   world.boot(0, [&](Ctx& ctx) { sp = ctx.create_local(*fx.spawner.cls, nullptr, 0); });

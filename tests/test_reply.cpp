@@ -30,7 +30,7 @@ TEST(Reply, LocalNowTypeFastPathNeverBlocks) {
   // box when the sender checks — the paper's common case.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) {
@@ -53,7 +53,7 @@ TEST(Reply, LocalNowTypeFastPathNeverBlocks) {
 TEST(Reply, BlockingAwaitSpillsAndResumes) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr a, d;
   world.boot(0, [&](Ctx& ctx) {
@@ -83,7 +83,7 @@ TEST(Reply, WhileAwaitingAllMessagesAreQueued) {
   // (the paper: the sender's VFT entries are all queuing procedures).
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr d = ctx.create_local(*fx.delay.cls, nullptr, 0);
@@ -108,7 +108,7 @@ TEST(Reply, ReplyDestinationCanBeDelegated) {
   // "reply messages are not necessarily sent by the original receiver".
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) {
@@ -129,7 +129,7 @@ TEST(Reply, ReplyDestinationCanBeDelegated) {
 TEST(Reply, RemoteNowTypeRoundTrip) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(fx.prog, cfg);
   MailAddr a, c;
   world.boot(2, [&](Ctx& ctx) {
@@ -153,7 +153,7 @@ TEST(Reply, RemoteNowTypeRoundTrip) {
 TEST(Reply, RemoteDelegatedReplyAcrossThreeNodes) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(fx.prog, cfg);
   MailAddr a, d1, d2;
   world.boot(1, [&](Ctx& ctx) { d1 = ctx.create_local(*fx.delay.cls, nullptr, 0); });
@@ -178,7 +178,7 @@ TEST(ReplyDeath, DoubleReplyAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr d = ctx.create_local(*fx.delay.cls, nullptr, 0);
@@ -198,7 +198,7 @@ TEST(Reply, PeekAllowsMultiWordReplies) {
   // Direct box-level check of multi-word storage.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     core::ReplyBox* box = nullptr;

@@ -25,7 +25,7 @@ struct Fixture {
 
   WorldConfig cfg(int nodes, core::SchedPolicy pol = core::SchedPolicy::kStack) {
     WorldConfig c;
-    c.nodes = nodes;
+    c.with_nodes(nodes);
     c.node.policy = pol;
     return c;
   }
@@ -140,7 +140,7 @@ TEST(Runtime, FifoPreservedToActiveReceiver) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   clear_log();
   MailAddr b;
@@ -215,7 +215,7 @@ TEST(Runtime, DeepChainIsPreemptedNotStackOverflowed) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.node.max_call_depth = 8;
   World world(prog, cfg);
   MailAddr first;
@@ -363,7 +363,7 @@ TEST(Runtime, RetiredObjectIsReclaimedAfterMethodEnds) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     std::size_t before = ctx.live_objects();

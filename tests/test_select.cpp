@@ -27,7 +27,7 @@ struct Fixture {
 TEST(Select, GetFromNonEmptyBufferNeverWaits) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr a;
   world.boot(0, [&](Ctx& ctx) {
@@ -46,7 +46,7 @@ TEST(Select, GetFromNonEmptyBufferNeverWaits) {
 TEST(Select, GetOnEmptyBufferWaitsAndPutRestoresDirectly) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr a, b;
   world.boot(0, [&](Ctx& ctx) {
@@ -76,7 +76,7 @@ TEST(Select, ScanFindsMessageAlreadyInQueue) {
   // awaited message when it first checks its message queue".
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   // Force queueing of the put by disabling the direct-call path.
   cfg.node.max_call_depth = 0;
   World world(fx.prog, cfg);
@@ -98,7 +98,7 @@ TEST(Select, UnacceptedMessagesDeferredWhileWaiting) {
   // and handled after the first completes — in order.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr a1, a2, b;
   world.boot(0, [&](Ctx& ctx) {
@@ -121,7 +121,7 @@ TEST(Select, UnacceptedMessagesDeferredWhileWaiting) {
 TEST(Select, WorksUnderNaivePolicy) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.node.policy = core::SchedPolicy::kNaive;
   World world(fx.prog, cfg);
   MailAddr a, b;
@@ -140,7 +140,7 @@ TEST(Select, WorksUnderNaivePolicy) {
 TEST(Select, RemoteProducersAndConsumers) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(fx.prog, cfg);
   MailAddr b;
   std::vector<MailAddr> askers;
@@ -171,7 +171,7 @@ TEST(Select, RemoteProducersAndConsumers) {
 TEST(Select, ManyItemsFlowThroughInOrderWhenBufferNotWaiting) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr b;
   std::vector<MailAddr> askers;
@@ -198,7 +198,7 @@ TEST(Select, ManyItemsFlowThroughInOrderWhenBufferNotWaiting) {
 TEST(Select, PutIntoFullBufferWaitsForGet) {
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr b, a;
   world.boot(0, [&](Ctx& ctx) {
@@ -230,7 +230,7 @@ TEST(Select, OverflowingProducerIsFlowControlled) {
   // once, in order.
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(fx.prog, cfg);
   const int kItems = 3 * apps::kBufferCapacity;
   MailAddr b;
@@ -349,7 +349,7 @@ struct HybridFixture {
 TEST(HybridWait, ReplyArrivingFirstTakesTheAwaitPath) {
   HybridFixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr r, d;
   world.boot(0, [&](Ctx& ctx) {
@@ -371,7 +371,7 @@ TEST(HybridWait, ReplyArrivingFirstTakesTheAwaitPath) {
 TEST(HybridWait, CancelArrivingFirstTakesTheSelectPath) {
   HybridFixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr r, d;
   world.boot(0, [&](Ctx& ctx) {
@@ -397,7 +397,7 @@ TEST(HybridWait, CancelArrivingFirstTakesTheSelectPath) {
 TEST(HybridWait, CancelWhileNotWaitingIsAPlainMethod) {
   HybridFixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(fx.prog, cfg);
   MailAddr r;
   world.boot(0, [&](Ctx& ctx) {
@@ -414,7 +414,7 @@ TEST(HybridWait, RemoteReplyRace) {
   // orders must leave a consistent, completed requester.
   HybridFixture fx;
   WorldConfig cfg;
-  cfg.nodes = 3;
+  cfg.with_nodes(3);
   World world(fx.prog, cfg);
   MailAddr r, d;
   world.boot(1, [&](Ctx& ctx) { d = ctx.create_local(*fx.delay.cls, nullptr, 0); });
@@ -441,7 +441,7 @@ TEST(HybridWait, NaivePolicyReplyAndCancelRace) {
   // nor get lost — the pending item observes the full box and resumes.
   HybridFixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.node.policy = core::SchedPolicy::kNaive;
   World world(fx.prog, cfg);
   MailAddr r, d;
@@ -474,7 +474,7 @@ TEST(HybridWait, DepthBoundReplyAndCancelRace) {
   // Same race under the stack policy with the direct-call depth exhausted.
   HybridFixture fx;
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.node.max_call_depth = 0;
   World world(fx.prog, cfg);
   MailAddr r, d;
@@ -564,7 +564,7 @@ TEST(Select, WaitingModeQueuesNonMatchingAndPreservesPerSourceFifo) {
   auto wp = fifo_mvft::register_waiter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 3;
+  cfg.with_nodes(3);
   World world(prog, cfg);
   MailAddr w;
   world.boot(0, [&](Ctx& ctx) {
@@ -626,7 +626,7 @@ TEST_P(SelectFlow, AllGetsServedExactlyOnce) {
   auto [nodes, policy, puts_first] = GetParam();
   Fixture fx;
   WorldConfig cfg;
-  cfg.nodes = nodes;
+  cfg.with_nodes(nodes);
   cfg.node.policy = policy;
   World world(fx.prog, cfg);
 

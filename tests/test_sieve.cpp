@@ -39,9 +39,9 @@ TEST_P(SieveShapes, CountsPrimesExactly) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = s.nodes;
+  cfg.with_nodes(s.nodes);
   cfg.node.policy = s.policy;
-  cfg.placement = s.placement;
+  cfg.with_placement(s.placement);
   World world(prog, cfg);
 
   auto r = apps::run_sieve(world, sp, s.limit);
@@ -78,7 +78,7 @@ TEST(Sieve, PipelineQueuesDuringChainGrowth) {
   auto sp = apps::register_sieve(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 8;
+  cfg.with_nodes(8);
   World world(prog, cfg);
   auto r = apps::run_sieve(world, sp, 500);
   EXPECT_EQ(r.primes, pi_ref(500));
@@ -92,8 +92,8 @@ TEST(Sieve, DeterministicAcrossRuns) {
     auto sp = apps::register_sieve(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 8;
-    cfg.placement = remote::PlacementKind::kRandom;
+    cfg.with_nodes(8);
+    cfg.with_placement(remote::PlacementKind::kRandom);
     World world(prog, cfg);
     auto r = apps::run_sieve(world, sp, 400);
     return std::pair(r.primes, r.rep.sim_time);
@@ -108,7 +108,7 @@ TEST(Sieve, StackSchedulingBeatsNaiveOnThePipeline) {
     auto sp = apps::register_sieve(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 4;
+    cfg.with_nodes(4);
     cfg.node.policy =
         naive ? core::SchedPolicy::kNaive : core::SchedPolicy::kStack;
     World world(prog, cfg);

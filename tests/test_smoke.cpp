@@ -19,7 +19,7 @@ TEST(Smoke, CounterLocal) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
 
   MailAddr c;
@@ -37,7 +37,7 @@ TEST(Smoke, CounterRemote) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
 
   MailAddr c;
@@ -55,7 +55,7 @@ TEST(Smoke, PingPongInterNode) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 2;
+  cfg.with_nodes(2);
   World world(prog, cfg);
   auto r = apps::run_pingpong(world, pp, 0, 1, 100);
   EXPECT_GE(r.bounces, 200u);
@@ -68,7 +68,7 @@ TEST(Smoke, FibLocal) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   auto r = apps::run_fib(world, fp, 15);
   EXPECT_EQ(r.value, 610);
@@ -80,7 +80,7 @@ TEST(Smoke, FibDistributed) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 8;
+  cfg.with_nodes(8);
   World world(prog, cfg);
   auto r = apps::run_fib(world, fp, 12);
   EXPECT_EQ(r.value, 144);
@@ -92,7 +92,7 @@ TEST(Smoke, NQueens6) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   apps::NQueensParams p;
   p.n = 6;

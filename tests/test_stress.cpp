@@ -93,10 +93,10 @@ TokenRun run_tokens(int nodes, int tokens, int hops, std::uint64_t seed,
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = nodes;
-  cfg.seed = seed;
+  cfg.with_nodes(nodes);
+  cfg.with_seed(seed);
   cfg.node.policy = policy;
-  cfg.host_threads = host_threads;
+  cfg.with_host_threads(host_threads);
   World world(prog, cfg);
 
   TokenRing ring;
@@ -196,7 +196,7 @@ TEST(Yield, LongLoopYieldsAndCompletes) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.node.reduction_budget = 0;  // should_yield() after any delivery
   World world(prog, cfg);
   MailAddr s, c;
@@ -222,7 +222,7 @@ TEST(Yield, MessagesArrivingDuringYieldAreServedFifo) {
   prog.finalize();
 
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   cfg.node.reduction_budget = 0;
   World world(prog, cfg);
   MailAddr s;
@@ -247,8 +247,8 @@ TEST(Determinism, FibIdenticalAcrossRuns) {
     auto fp = apps::register_fib(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 8;
-    cfg.placement = remote::PlacementKind::kRandom;
+    cfg.with_nodes(8);
+    cfg.with_placement(remote::PlacementKind::kRandom);
     World world(prog, cfg);
     auto r = apps::run_fib(world, fp, 14);
     return std::tuple<std::int64_t, sim::Instr, std::uint64_t>(
@@ -280,8 +280,8 @@ TEST(Determinism, NQueensStatsIdenticalAcrossHostDrivers) {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 32;
-    cfg.host_threads = host_threads;
+    cfg.with_nodes(32);
+    cfg.with_host_threads(host_threads);
     World world(prog, cfg);
     apps::NQueensParams p;
     p.n = 8;
@@ -302,7 +302,7 @@ TEST(Determinism, StatsIdenticalAcrossRuns) {
     auto np = apps::register_nqueens(prog);
     prog.finalize();
     WorldConfig cfg;
-    cfg.nodes = 32;
+    cfg.with_nodes(32);
     World world(prog, cfg);
     apps::NQueensParams p;
     p.n = 8;

@@ -84,7 +84,7 @@ TEST(Tracer, CapturesRuntimeEventKinds) {
   auto fp = apps::register_fib(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   sim::Tracer tracer(1u << 16);
   world.attach_tracer(&tracer);
@@ -109,7 +109,7 @@ TEST(Tracer, DetachStopsRecording) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   sim::Tracer tracer(64);
   world.attach_tracer(&tracer);
@@ -127,7 +127,7 @@ TEST(Utilization, SingleBusyNodeShowsFullUtilization) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 1;
+  cfg.with_nodes(1);
   World world(prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*cp.cls, nullptr, 0);
@@ -144,7 +144,7 @@ TEST(Utilization, IdleNodesDragTheMeanDown) {
   auto cp = apps::register_counter(prog);
   prog.finalize();
   WorldConfig cfg;
-  cfg.nodes = 4;
+  cfg.with_nodes(4);
   World world(prog, cfg);
   world.boot(0, [&](Ctx& ctx) {
     MailAddr c = ctx.create_local(*cp.cls, nullptr, 0);

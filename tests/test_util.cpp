@@ -14,12 +14,14 @@
 #include "util/intrusive_list.hpp"
 #include "util/rng.hpp"
 #include "util/slab.hpp"
+#include "util/spec_parser.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace abcl::util;
+namespace util = abcl::util;
 
 // ---------------------------------------------------------------- Arena ----
 
@@ -735,6 +737,107 @@ TEST(BucketQueue, SetModeRequiresEmpty) {
   q.pop();
   q.set_mode(QueueKind::kBucket);
   EXPECT_EQ(q.mode(), QueueKind::kBucket);
+}
+
+
+// ---------------------------------------------------------------------------
+// SpecParser: the shared strict key=value grammar behind every spec knob
+// (ABCLSIM_FAULTS / _MIGRATION / _CHECKPOINT); see util/spec_parser.hpp.
+// ---------------------------------------------------------------------------
+
+TEST(SpecParser, TrimStripsSurroundingBlanksOnly) {
+  using util::SpecParser;
+  EXPECT_EQ(SpecParser::trim("  a b  "), "a b");
+  EXPECT_EQ(SpecParser::trim("\ta\t"), "a");
+  EXPECT_EQ(SpecParser::trim(""), "");
+  EXPECT_EQ(SpecParser::trim("   "), "");
+}
+
+TEST(SpecParser, ParseU64IsStrictAndOverflowChecked) {
+  using util::SpecParser;
+  EXPECT_EQ(SpecParser::parse_u64("0"), 0u);
+  EXPECT_EQ(SpecParser::parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(SpecParser::parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(SpecParser::parse_u64("").has_value());
+  EXPECT_FALSE(SpecParser::parse_u64("-1").has_value());
+  EXPECT_FALSE(SpecParser::parse_u64("1x").has_value());
+  EXPECT_FALSE(SpecParser::parse_u64("0x10").has_value());
+}
+
+TEST(SpecParser, ParseProbPpmIsStrict) {
+  using util::SpecParser;
+  EXPECT_EQ(SpecParser::parse_prob_ppm("0"), 0u);
+  EXPECT_EQ(SpecParser::parse_prob_ppm("1"), 1'000'000u);
+  EXPECT_EQ(SpecParser::parse_prob_ppm("0.05"), 50'000u);
+  EXPECT_EQ(SpecParser::parse_prob_ppm(".25"), 250'000u);
+  EXPECT_EQ(SpecParser::parse_prob_ppm("0.000001"), 1u);
+  EXPECT_FALSE(SpecParser::parse_prob_ppm("1.5").has_value());
+  EXPECT_FALSE(SpecParser::parse_prob_ppm("0.0000001").has_value());  // 7 dp
+  EXPECT_FALSE(SpecParser::parse_prob_ppm("5%").has_value());
+  EXPECT_FALSE(SpecParser::parse_prob_ppm("").has_value());
+}
+
+TEST(SpecParser, RunParsesTypedFieldsAndBlanks) {
+  std::uint32_t ppm = 0, small = 0;
+  std::uint64_t big = 0;
+  std::string name;
+  util::SpecParser p;
+  p.prob_ppm("drop", &ppm).u64("at", &big).u32("n", &small).str("path", &name);
+  std::string why;
+  ASSERT_TRUE(p.run(" drop = 0.5 , at = 99 , n = 7 , path = /tmp/x ", &why))
+      << why;
+  EXPECT_EQ(ppm, 500'000u);
+  EXPECT_EQ(big, 99u);
+  EXPECT_EQ(small, 7u);
+  EXPECT_EQ(name, "/tmp/x");
+}
+
+TEST(SpecParser, RunRejectsEveryDeviationWithAReason) {
+  auto fails = [](const std::string& raw) {
+    std::uint64_t at = 0;
+    util::SpecParser p;
+    p.u64("at", &at);
+    std::string why;
+    bool ok = p.run(raw, &why);
+    EXPECT_TRUE(ok || !why.empty()) << raw;
+    return !ok;
+  };
+  EXPECT_TRUE(fails("bogus=1"));     // unknown key
+  EXPECT_TRUE(fails("at=1,at=2"));   // repeated key
+  EXPECT_TRUE(fails("at=zap"));      // malformed number
+  EXPECT_TRUE(fails("at"));          // missing '='
+  EXPECT_TRUE(fails("at="));         // empty value
+  EXPECT_TRUE(fails("at=1,"));       // empty trailing entry
+  EXPECT_FALSE(fails("at=1"));
+}
+
+TEST(SpecParser, SpecOffAndDiagnosticShapes) {
+  EXPECT_TRUE(util::spec_off(nullptr));
+  EXPECT_TRUE(util::spec_off(""));
+  EXPECT_TRUE(util::spec_off("off"));
+  EXPECT_FALSE(util::spec_off("on"));
+  EXPECT_FALSE(util::spec_off("at=1"));
+
+  const std::string e =
+      util::spec_error("fault spec", "drop=lots", "bad value", "expected X");
+  EXPECT_NE(e.find("fault spec"), std::string::npos);
+  EXPECT_NE(e.find("drop=lots"), std::string::npos);
+  EXPECT_NE(e.find("bad value"), std::string::npos);
+  EXPECT_NE(e.find("expected X"), std::string::npos);
+
+  const std::string c = util::choice_error("ABCLSIM_QUEUE", "stack",
+                                           "bucket or heap", "bucket");
+  EXPECT_NE(c.find("ABCLSIM_QUEUE"), std::string::npos);
+  EXPECT_NE(c.find("stack"), std::string::npos);
+}
+
+TEST(SpecParser, ParseChoiceMatchesExactWordsOnly) {
+  EXPECT_EQ(util::parse_choice("bucket", {"bucket", "heap"}), 0u);
+  EXPECT_EQ(util::parse_choice("heap", {"bucket", "heap"}), 1u);
+  EXPECT_FALSE(util::parse_choice("buck", {"bucket", "heap"}).has_value());
+  EXPECT_FALSE(util::parse_choice("", {"bucket", "heap"}).has_value());
+  EXPECT_FALSE(util::parse_choice(nullptr, {"bucket", "heap"}).has_value());
 }
 
 }  // namespace
