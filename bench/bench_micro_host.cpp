@@ -6,7 +6,10 @@
 
 #include "apps/counters.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/lookahead.hpp"
 #include "sim/machine.hpp"
+#include "sim/shard_balance.hpp"
 #include "util/arena.hpp"
 #include "util/intrusive_list.hpp"
 #include "util/slab.hpp"
@@ -314,6 +317,55 @@ void BM_MachineQuantumOverhead(benchmark::State& state) {
   state.SetItemsProcessed(quanta);
 }
 BENCHMARK(BM_MachineQuantumOverhead)->Unit(benchmark::kMicrosecond);
+
+// ---- parallel-driver window machinery ---------------------------------------
+
+// Per-window cost of the distance-horizon relaxation: one O(N) min-plus
+// pass over the torus for state.range(0) nodes. Keys cycle through a mix of
+// finite and infinite (idle) entries so the sweep sees realistic data.
+void BM_HorizonRelaxation(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  net::Topology topo(net::TopologyKind::kTorus2D, n);
+  sim::HorizonMap hmap(&topo, /*per_hop=*/1);
+  std::vector<sim::Instr> keys(static_cast<std::size_t>(n));
+  std::vector<sim::Instr> out(static_cast<std::size_t>(n));
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (auto& k : keys) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    k = (x & 7) != 0 ? (x % 100000) : sim::kInstrInf;
+  }
+  for (auto _ : state) {
+    hmap.relax(keys, &out);
+    benchmark::DoNotOptimize(out.data());
+    // Drift the keys so successive windows differ, as in a real run.
+    keys[static_cast<std::size_t>(state.iterations()) %
+         keys.size()] += 64;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HorizonRelaxation)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Per-barrier cost of the deterministic shard rebalance: EWMA fold plus the
+// LPT repack over state.range(0) nodes onto 8 workers.
+void BM_ShardRebalance(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  sim::ShardBalancer bal(n, /*workers=*/8, /*seed=*/1);
+  std::vector<std::uint64_t> quanta(static_cast<std::size_t>(n));
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    for (auto& q : quanta) {
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      q = x & 31;  // skewed small loads, some zero
+    }
+    benchmark::DoNotOptimize(bal.rebalance(quanta.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShardRebalance)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 

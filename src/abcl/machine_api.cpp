@@ -57,6 +57,30 @@ net::FlushKind parse_flush_env(const char* text) {
   return *i == 0 ? net::FlushKind::kMerge : net::FlushKind::kSort;
 }
 
+sim::HorizonKind parse_horizon_env(const char* text) {
+  if (text == nullptr || *text == '\0') return sim::HorizonKind::kGlobal;
+  std::optional<std::size_t> i =
+      util::parse_choice(text, {"global", "distance"});
+  ABCL_CHECK_MSG(i.has_value(),
+                 util::choice_error("ABCLSIM_HORIZON", text,
+                                    "global or distance",
+                                    "the flat global window")
+                     .c_str());
+  return *i == 0 ? sim::HorizonKind::kGlobal : sim::HorizonKind::kDistance;
+}
+
+sim::ShardKind parse_shard_env(const char* text) {
+  if (text == nullptr || *text == '\0') return sim::ShardKind::kStatic;
+  std::optional<std::size_t> i =
+      util::parse_choice(text, {"static", "balanced"});
+  ABCL_CHECK_MSG(i.has_value(),
+                 util::choice_error("ABCLSIM_SHARD", text,
+                                    "static or balanced",
+                                    "the static round-robin shard")
+                     .c_str());
+  return *i == 0 ? sim::ShardKind::kStatic : sim::ShardKind::kBalanced;
+}
+
 }  // namespace
 
 WorldConfig WorldConfig::from_env() {
@@ -71,6 +95,8 @@ WorldConfig WorldConfig::from_env() {
   cfg.pooling = parse_pooling_env(std::getenv("ABCLSIM_POOLING"));
   cfg.queue = parse_queue_env(std::getenv("ABCLSIM_QUEUE"));
   cfg.flush = parse_flush_env(std::getenv("ABCLSIM_FLUSH"));
+  cfg.horizon = parse_horizon_env(std::getenv("ABCLSIM_HORIZON"));
+  cfg.shard = parse_shard_env(std::getenv("ABCLSIM_SHARD"));
   err.clear();
   std::optional<net::FaultConfig> faults =
       net::parse_fault_spec(std::getenv("ABCLSIM_FAULTS"), &err);
@@ -176,8 +202,12 @@ void World::build_machine() {
 
   int threads = resolve_host_threads(cfg_.host_threads);
   if (threads >= 1) {
-    machine_ = std::make_unique<sim::ParallelMachine>(std::move(execs),
-                                                      net_.get(), threads);
+    sim::ParallelMachine::Options opts;
+    opts.horizon = cfg_.horizon;
+    opts.shard = cfg_.shard;
+    opts.seed = cfg_.seed;
+    machine_ = std::make_unique<sim::ParallelMachine>(
+        std::move(execs), net_.get(), threads, opts);
     host_threads_ = threads;
   } else {
     machine_ = std::make_unique<sim::Machine>(std::move(execs), cfg_.queue);

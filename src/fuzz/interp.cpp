@@ -288,7 +288,8 @@ InterpPatterns register_interp(core::Program& prog) {
 
 FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
                      const sim::CostModel& cost, util::QueueKind queue,
-                     net::FlushKind flush, const ckpt::CheckpointConfig& ck)
+                     net::FlushKind flush, sim::HorizonKind horizon,
+                     sim::ShardKind shard, const ckpt::CheckpointConfig& ck)
     : spec_(spec) {
   std::string verr;
   ABCL_CHECK_MSG(spec_.validate(&verr), "invalid fuzz spec");
@@ -304,6 +305,8 @@ FuzzWorld::FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer,
       .with_seed(spec_.seed | 1)
       .with_queue(queue)
       .with_flush(flush)
+      .with_horizon(horizon)
+      .with_shard(shard)
       .with_ckpt(ck);
   cfg.node.max_call_depth = spec_.max_call_depth;
   cfg.node.reduction_budget = spec_.reduction_budget;

@@ -83,13 +83,16 @@ class FuzzWorld {
   // `spec` must validate; aborts otherwise. `tracer` (optional) is attached
   // before boot so boot-time cascades are fingerprinted too. `queue` and
   // `flush` select the time-queue and flush-path ablations (see
-  // WorldConfig); either choice must produce byte-identical results. `ck`
-  // (optional) enables deterministic checkpoint capture at a simulated-time
-  // boundary (see ckpt/snapshot.hpp and checkpoint_to below).
+  // WorldConfig); `horizon` and `shard` the parallel driver's window and
+  // shard policies. Every combination must produce byte-identical results.
+  // `ck` (optional) enables deterministic checkpoint capture at a
+  // simulated-time boundary (see ckpt/snapshot.hpp and checkpoint_to below).
   FuzzWorld(const Spec& spec, int host_threads, sim::Tracer* tracer = nullptr,
             const sim::CostModel& cost = sim::CostModel::ap1000(),
             util::QueueKind queue = util::QueueKind::kBucket,
             net::FlushKind flush = net::FlushKind::kMerge,
+            sim::HorizonKind horizon = sim::HorizonKind::kGlobal,
+            sim::ShardKind shard = sim::ShardKind::kStatic,
             const ckpt::CheckpointConfig& ck = {});
 
   FuzzWorld(const FuzzWorld&) = delete;

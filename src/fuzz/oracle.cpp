@@ -292,9 +292,11 @@ RunResult collect(FuzzWorld& fw, const HashTracer& tracer,
 
 RunResult run_spec(const Spec& spec, int host_threads,
                    const sim::CostModel& cost, util::QueueKind queue,
-                   net::FlushKind flush) {
+                   net::FlushKind flush, sim::HorizonKind horizon,
+                   sim::ShardKind shard) {
   HashTracer tracer;
-  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush);
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, horizon,
+               shard);
   RunReport rep = fw.world().run();
   return collect(fw, tracer, rep);
 }
@@ -302,13 +304,15 @@ RunResult run_spec(const Spec& spec, int host_threads,
 RunResult run_spec_with_checkpoint(const Spec& spec, int host_threads,
                                    std::uint64_t at, int restore_host_threads,
                                    const sim::CostModel& cost,
-                                   util::QueueKind queue,
-                                   net::FlushKind flush) {
+                                   util::QueueKind queue, net::FlushKind flush,
+                                   sim::HorizonKind horizon,
+                                   sim::ShardKind shard) {
   HashTracer tracer;
   ckpt::CheckpointConfig ck;
   ck.enabled = true;
   ck.at = at;
-  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, ck);
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, horizon, shard,
+               ck);
   fw.world().run();  // stops at the `at` boundary (or quiesces before it)
 
   ckpt::MemSink sink;
@@ -323,13 +327,15 @@ RunResult run_spec_with_checkpoint(const Spec& spec, int host_threads,
 
 RunResult run_spec_with_crash(const Spec& spec, int host_threads,
                               std::uint64_t at, std::uint64_t crash_at,
-                              const sim::CostModel& cost,
-                              util::QueueKind queue, net::FlushKind flush) {
+                              const sim::CostModel& cost, util::QueueKind queue,
+                              net::FlushKind flush, sim::HorizonKind horizon,
+                              sim::ShardKind shard) {
   HashTracer tracer;
   ckpt::CheckpointConfig ck;
   ck.enabled = true;
   ck.at = at;
-  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, ck);
+  FuzzWorld fw(spec, host_threads, &tracer, cost, queue, flush, horizon, shard,
+               ck);
   fw.world().run();  // to the checkpoint boundary
 
   ckpt::MemSink sink;
@@ -358,7 +364,9 @@ OracleResult check_spec(const Spec& spec, const OracleOptions& opts) {
   res.serial = run_spec(spec, kSerial);
   if (!check_invariants(spec, res.serial, res)) return res;
   for (int t : opts.thread_counts) {
-    RunResult rr = run_spec(spec, t);
+    RunResult rr =
+        run_spec(spec, t, sim::CostModel::ap1000(), util::QueueKind::kBucket,
+                 net::FlushKind::kMerge, opts.horizon, opts.shard);
     if (!check_identical(res.serial, rr, where(t), res)) return res;
   }
   if (opts.metamorphic) {
@@ -383,28 +391,35 @@ OracleResult check_spec_checkpoint(const Spec& spec,
   const std::uint64_t crash_at =
       opts.crash_at != 0 ? opts.crash_at
                          : at + (res.serial.sim_time - at) / 2 + 1;
+  const sim::CostModel cost = sim::CostModel::ap1000();
+  const util::QueueKind q = util::QueueKind::kBucket;
+  const net::FlushKind f = net::FlushKind::kMerge;
   {
-    RunResult rr = run_spec_with_checkpoint(spec, kSerial, at);
+    RunResult rr = run_spec_with_checkpoint(spec, kSerial, at, 0, cost, q, f,
+                                            opts.horizon, opts.shard);
     if (!check_identical(res.serial, rr, "ckpt+restore serial", res)) {
       return res;
     }
   }
   for (int t : opts.thread_counts) {
-    RunResult rr = run_spec_with_checkpoint(spec, t, at);
+    RunResult rr = run_spec_with_checkpoint(spec, t, at, 0, cost, q, f,
+                                            opts.horizon, opts.shard);
     if (!check_identical(res.serial, rr, "ckpt+restore " + where(t), res)) {
       return res;
     }
   }
   {
     // Cross-driver: capture under the serial machine, resume host-parallel.
-    RunResult rr = run_spec_with_checkpoint(spec, kSerial, at, 2);
+    RunResult rr = run_spec_with_checkpoint(spec, kSerial, at, 2, cost, q, f,
+                                            opts.horizon, opts.shard);
     if (!check_identical(res.serial, rr,
                          "ckpt serial, restore threads=2", res)) {
       return res;
     }
   }
   {
-    RunResult rr = run_spec_with_crash(spec, kSerial, at, crash_at);
+    RunResult rr = run_spec_with_crash(spec, kSerial, at, crash_at, cost, q, f,
+                                       opts.horizon, opts.shard);
     if (!check_identical(res.serial, rr, "crash-recovery", res)) return res;
   }
   return res;

@@ -123,13 +123,17 @@ struct RunResult {
   std::uint64_t migration_holds = 0;
 };
 
-// `queue`/`flush` select the time-queue and commit-path ablations; every
+// `queue`/`flush` select the time-queue and commit-path ablations;
+// `horizon`/`shard` the parallel driver's window and shard policies. Every
 // combination must yield a byte-identical RunResult (checked by
-// tests/test_host_parallel.cpp over the fuzz corpus).
+// tests/test_host_parallel.cpp and tests/test_fuzz.cpp over the fuzz
+// corpus).
 RunResult run_spec(const Spec& spec, int host_threads,
                    const sim::CostModel& cost = sim::CostModel::ap1000(),
                    util::QueueKind queue = util::QueueKind::kBucket,
-                   net::FlushKind flush = net::FlushKind::kMerge);
+                   net::FlushKind flush = net::FlushKind::kMerge,
+                   sim::HorizonKind horizon = sim::HorizonKind::kGlobal,
+                   sim::ShardKind shard = sim::ShardKind::kStatic);
 
 // Snapshot-equivalence drill: run `spec` to the quantum boundary at `at`,
 // serialize the whole world into memory, destroy it, restore it (under
@@ -142,7 +146,9 @@ RunResult run_spec_with_checkpoint(
     int restore_host_threads = 0,
     const sim::CostModel& cost = sim::CostModel::ap1000(),
     util::QueueKind queue = util::QueueKind::kBucket,
-    net::FlushKind flush = net::FlushKind::kMerge);
+    net::FlushKind flush = net::FlushKind::kMerge,
+    sim::HorizonKind horizon = sim::HorizonKind::kGlobal,
+    sim::ShardKind shard = sim::ShardKind::kStatic);
 
 // Crash-recovery drill: checkpoint at `at`, keep running toward the later
 // simulated instant `crash_at`, then "crash" — destroy the world, roll the
@@ -155,11 +161,17 @@ RunResult run_spec_with_crash(
     std::uint64_t crash_at,
     const sim::CostModel& cost = sim::CostModel::ap1000(),
     util::QueueKind queue = util::QueueKind::kBucket,
-    net::FlushKind flush = net::FlushKind::kMerge);
+    net::FlushKind flush = net::FlushKind::kMerge,
+    sim::HorizonKind horizon = sim::HorizonKind::kGlobal,
+    sim::ShardKind shard = sim::ShardKind::kStatic);
 
 struct OracleOptions {
   std::vector<int> thread_counts = {1, 2, 8};
   bool metamorphic = true;
+  // Parallel-driver policies for the differential runs. The serial baseline
+  // has no window or shard, so any combination must still match it exactly.
+  sim::HorizonKind horizon = sim::HorizonKind::kGlobal;
+  sim::ShardKind shard = sim::ShardKind::kStatic;
 };
 
 struct OracleResult {
@@ -180,6 +192,11 @@ struct CheckpointOracleOptions {
   // Simulated instant of the simulated crash; 0 = halfway between the
   // checkpoint and the baseline's quiescence.
   std::uint64_t crash_at = 0;
+  // Parallel-driver policies, applied to every checkpointing/restored run
+  // (the snapshot carries them, so a restore keeps the policy unless its
+  // caller overrides the thread count — never the policy).
+  sim::HorizonKind horizon = sim::HorizonKind::kGlobal;
+  sim::ShardKind shard = sim::ShardKind::kStatic;
 };
 
 // Snapshot-equivalence oracle: the uninterrupted serial run is the

@@ -50,6 +50,9 @@ Network::Network(Topology topology, const sim::CostModel* cm,
   ABCL_CHECK(cm_ != nullptr);
   ABCL_CHECK_MSG(cm_->wire_latency + cm_->per_hop > 0,
                  "network lookahead must be positive for the PDES driver");
+  min_latency_raw_ = cm_->wire_latency +
+                     static_cast<sim::Instr>(kMinWireWords) * cm_->per_word;
+  min_latency_ = min_latency_raw_ == 0 ? 1 : min_latency_raw_;
   if (use_matrix_) {
     channel_matrix_.assign(
         static_cast<std::size_t>(topology_.num_nodes()) *
@@ -101,12 +104,6 @@ std::uint64_t& Network::link_seq(NodeId src, NodeId dst) {
   return link_seq_map_[key];
 }
 
-sim::Instr Network::min_packet_latency() const {
-  sim::Instr wire = cm_->wire_latency +
-                    static_cast<sim::Instr>(kMinWireWords) * cm_->per_word;
-  return wire == 0 ? 1 : wire;
-}
-
 void Network::send(Packet&& p, AmCategory category) {
   ABCL_CHECK(p.dst >= 0 && p.dst < topology_.num_nodes());
   ABCL_CHECK(p.src >= 0 && p.src < topology_.num_nodes());
@@ -115,6 +112,10 @@ void Network::send(Packet&& p, AmCategory category) {
     ob->sorted_ = false;
     return;
   }
+  // A direct commit inside a windowed run would bypass the reorder buffer's
+  // key stamping; the parallel driver installs an outbox for every source
+  // before enabling the mode.
+  ABCL_CHECK(!windowed_stats_);
   commit(std::move(p), category);
 }
 
@@ -142,7 +143,15 @@ void Network::commit(Packet&& p, AmCategory category) {
   stats_.payload_words += p.nwords;
   stats_.wire_words += static_cast<std::uint64_t>(p.wire_words());
   stats_.per_category[static_cast<int>(category)] += 1;
-  stats_.wire_latency_instr.add(static_cast<double>(arrive - p.send_time));
+  if (windowed_stats_) {
+    // Park the order-sensitive Welford sample until the global key frontier
+    // passes commit_key_ (see set_windowed_stats); the sums above are
+    // order-free and stay immediate.
+    deferred_lat_.push_back(
+        {commit_key_, p.src, static_cast<double>(arrive - p.send_time)});
+  } else {
+    stats_.wire_latency_instr.add(static_cast<double>(arrive - p.send_time));
+  }
 
   if (fault_plan_ != nullptr) {
     commit_faulty(p);
@@ -298,8 +307,42 @@ void Network::flush_sort(Outbox* const* boxes, std::size_t nboxes) {
                      if (a.key != b.key) return a.key < b.key;
                      return a.pkt.src < b.pkt.src;
                    });
-  for (Outbox::Item& it : merge_) commit(std::move(it.pkt), it.cat);
+  for (Outbox::Item& it : merge_) {
+    commit_key_ = it.key;
+    commit(std::move(it.pkt), it.cat);
+  }
   merge_.clear();
+}
+
+void Network::set_windowed_stats(bool on) {
+  // Mode flips only happen with the buffer drained (run entry/exit).
+  ABCL_CHECK(deferred_lat_.empty());
+  windowed_stats_ = on;
+  deferred_mid_ = 0;
+}
+
+void Network::drain_deferred_wire_stats(sim::Instr frontier) {
+  auto cmp = [](const DeferredWireSample& a, const DeferredWireSample& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.src < b.src;
+  };
+  if (deferred_mid_ > 0 && deferred_mid_ < deferred_lat_.size()) {
+    // Carry (sorted) + this flush's batch (committed in canonical order, so
+    // already sorted). inplace_merge keeps the carry first on equal (key,
+    // src) — the carry is the earlier program order.
+    std::inplace_merge(deferred_lat_.begin(),
+                       deferred_lat_.begin() +
+                           static_cast<std::ptrdiff_t>(deferred_mid_),
+                       deferred_lat_.end(), cmp);
+  }
+  std::size_t n = 0;
+  while (n < deferred_lat_.size() && deferred_lat_[n].key < frontier) {
+    stats_.wire_latency_instr.add(deferred_lat_[n].v);
+    ++n;
+  }
+  deferred_lat_.erase(deferred_lat_.begin(),
+                      deferred_lat_.begin() + static_cast<std::ptrdiff_t>(n));
+  deferred_mid_ = deferred_lat_.size();
 }
 
 // N-way loser-tree merge over pre-sorted per-worker runs: O(M log N)
@@ -327,6 +370,7 @@ void Network::flush_merge(Outbox* const* boxes, std::size_t nboxes) {
   if (k == 0) return;
   if (k == 1) {
     for (Outbox::Item& it : *runs[0].items) {
+      commit_key_ = it.key;
       commit(std::move(it.pkt), it.cat);
     }
     return;
@@ -369,6 +413,7 @@ void Network::flush_merge(Outbox* const* boxes, std::size_t nboxes) {
     Cursor& c = runs[winner];
     if (c.pos == c.items->size()) break;  // winner exhausted => all are
     Outbox::Item& it = (*c.items)[c.pos++];
+    commit_key_ = it.key;
     commit(std::move(it.pkt), it.cat);
     winner = replay(winner);
   }

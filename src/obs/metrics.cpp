@@ -2,6 +2,7 @@
 
 #include "net/active_message.hpp"
 #include "obs/json.hpp"
+#include "sim/parallel_machine.hpp"
 
 namespace abcl::obs {
 
@@ -237,6 +238,19 @@ std::string metrics_json(const World& world, const RunReport* rep) {
   std::string out = w.take();
   out += '\n';
   return out;
+}
+
+std::string driver_metrics_json(const sim::ParallelMachine& pm) {
+  JsonWriter w(/*indent=*/0);
+  w.begin_object();
+  w.field("horizon", sim::to_string(pm.horizon_kind()));
+  w.field("shard", sim::to_string(pm.shard_kind()));
+  w.field("windows_run", pm.windows_run());
+  w.field("occupancy_sum", pm.occupancy_sum());
+  w.field("rebalances", pm.rebalances());
+  w.field("shard_moves", pm.shard_moves());
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace abcl::obs

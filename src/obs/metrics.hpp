@@ -20,6 +20,10 @@
 #include "abcl/machine_api.hpp"
 #include "util/stats.hpp"
 
+namespace abcl::sim {
+class ParallelMachine;
+}  // namespace abcl::sim
+
 namespace abcl::obs {
 
 // v2 adds the "pooling" flag plus per-node and total "alloc" blocks (slab
@@ -36,5 +40,14 @@ std::string metrics_json(const World& world, const RunReport* rep = nullptr);
 // Shared histogram serializer (also used by test assertions): count,
 // p50/p90/p99 approximations and the non-empty buckets as [index, count].
 void histogram_json(class JsonWriter& w, const util::Log2Histogram& h);
+
+// Parallel-driver execution counters: window/occupancy/rebalance totals
+// plus the effective horizon/shard policies. Kept OUT of metrics_json on
+// purpose — windows_run depends on the driver (a serial Machine has no
+// windows at all), so embedding it there would break the serial/parallel
+// byte-identity contract above. Everything emitted is still deterministic
+// for a fixed (program, policy, pinned thread count), so benches splice
+// this block into their own reports and pin it in baselines.
+std::string driver_metrics_json(const sim::ParallelMachine& pm);
 
 }  // namespace abcl::obs

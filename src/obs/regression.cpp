@@ -6,14 +6,19 @@
 
 namespace abcl::obs {
 
-// Host-dependent keys: wall time, the recorded core count, and the flag
-// derived from it — never simulated quantities. "faults" is the whole
-// fault-injection block: it only exists in fault-enabled runs, and ignoring
-// it both ways lets a fault-run candidate compare against the committed
-// faults-off baselines (and vice versa) without structural drift.
-// "migration" follows the same pattern for the live-migration block.
+// Host-dependent keys: wall time, wall-time ratios, the recorded core
+// count, and the flag derived from it — never simulated quantities. This is
+// the single shared list every trajectory/metrics comparison draws from
+// (bench_regression_check, tests, compare_json defaults); benches must name
+// host-dependent fields with these keys rather than growing per-call-site
+// exclusions. "faults" is the whole fault-injection block: it only exists
+// in fault-enabled runs, and ignoring it both ways lets a fault-run
+// candidate compare against the committed faults-off baselines (and vice
+// versa) without structural drift. "migration" follows the same pattern for
+// the live-migration block.
 const std::vector<std::string> kDefaultIgnoredKeys = {
-    "wall_ms", "host_cores", "parallel_meaningful", "faults", "migration"};
+    "wall_ms", "speedup",  "host_cores",
+    "faults",  "migration", "parallel_meaningful"};
 
 namespace {
 

@@ -33,9 +33,10 @@ struct CompareResult {
 };
 
 // Fields excluded from bench-trajectory comparison: host-dependent ones
-// plus the fault-injection counter block (present only in fault runs).
-extern const std::vector<std::string>
-    kDefaultIgnoredKeys;  // wall_ms, host_cores, parallel_meaningful, faults
+// (wall_ms, speedup, host_cores, parallel_meaningful) plus the
+// fault-injection and migration counter blocks (present only in runs with
+// those features on). The one canonical list — see regression.cpp.
+extern const std::vector<std::string> kDefaultIgnoredKeys;
 
 struct CompareOptions {
   double tol_pct = 0.5;

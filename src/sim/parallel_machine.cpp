@@ -14,11 +14,14 @@ constexpr int kSpinIters = 2048;
 }  // namespace
 
 ParallelMachine::ParallelMachine(std::vector<NodeExec*> nodes,
-                                 net::Network* net, int num_threads)
+                                 net::Network* net, int num_threads,
+                                 Options opts)
     : Driver(std::move(nodes)),
       net_(net),
       lookahead_(net != nullptr ? net->min_packet_latency() : 1),
       workers_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      distance_(opts.horizon == HorizonKind::kDistance && net != nullptr &&
+                !net->faults_enabled()),
       // On a single hardware thread, every spin cycle is stolen from the
       // thread being waited on — park immediately instead.
       spin_limit_(std::thread::hardware_concurrency() > 1 ? kSpinIters : 0) {
@@ -28,6 +31,25 @@ ParallelMachine::ParallelMachine(std::vector<NodeExec*> nodes,
   // where load correlates with id ranges.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     workers_[i % workers_.size()].shard.push_back(static_cast<NodeId>(i));
+  }
+  if (distance_) {
+    hmap_ = std::make_unique<HorizonMap>(&net_->topology(),
+                                         net_->cost_model().per_hop);
+    // Per-pair price floor is raw_wire + hops * per_hop. The *unclamped*
+    // raw wire floor must be used here: with a zero-cost wire the commit
+    // path clamps the whole priced latency (hops included) up to 1, so
+    // adding the clamped lookahead on top of the hop term would overshoot
+    // the real price. Positivity for j != i follows from the network's
+    // ctor invariant wire_latency + per_hop > 0 and hops >= 1.
+    dist_base_ = net_->min_packet_latency_raw();
+    node_key_.assign(nodes_.size(), kInstrInf);
+    horizons_.assign(nodes_.size(), 0);
+  }
+  if (opts.shard == ShardKind::kBalanced && workers_.size() > 1) {
+    balancer_ = std::make_unique<ShardBalancer>(
+        static_cast<std::int32_t>(nodes_.size()),
+        static_cast<int>(workers_.size()), opts.seed);
+    window_quanta_.assign(nodes_.size(), 0);
   }
 }
 
@@ -41,11 +63,17 @@ Instr ParallelMachine::effective_key(NodeExec& n) const {
 }
 
 void ParallelMachine::run_shard(Worker& w) {
-  const Instr horizon = window_horizon_;
+  const Instr global_horizon = window_horizon_;
   const Instr max_time = window_max_time_;
+  const bool distance = distance_;
+  const bool balanced = balancer_ != nullptr;
   Instr shard_min = kInstrInf;
+  std::uint64_t active = 0;
   for (NodeId id : w.shard) {
-    NodeExec& n = *nodes_[static_cast<std::size_t>(id)];
+    const auto idx = static_cast<std::size_t>(id);
+    NodeExec& n = *nodes_[idx];
+    const Instr horizon = distance ? horizons_[idx] : global_horizon;
+    const std::uint64_t before = w.quanta;
     Instr key;
     while (true) {
       key = effective_key(n);
@@ -56,12 +84,16 @@ void ParallelMachine::run_shard(Worker& w) {
       n.step();
       ++w.quanta;
     }
+    if (w.quanta != before) ++active;
+    if (balanced) window_quanta_[idx] += w.quanta - before;
     // The break-time key is the node's final key for this window: nothing
     // else touches the node until the flush, whose deliveries are folded in
-    // via notify_work.
+    // via notify_work (which also refreshes node_key_).
+    if (distance) node_key_[idx] = key;
     if (key < shard_min) shard_min = key;
   }
   w.shard_min = shard_min;
+  w.active = active;
   // Pre-sort this worker's run inside the parallel region so the barrier
   // flush only has to merge. Skipped under the kSort ablation, which
   // measures the old coordinator-side global sort.
@@ -96,43 +128,106 @@ void ParallelMachine::worker_main(Worker& w) {
   }
 }
 
-void ParallelMachine::flush_window() {
-  if (net_ != nullptr) {
-    // Commit every buffered send in canonical (quantum key, src) order —
-    // the exact order the serial driver would have issued them.
-    if (outbox_ptrs_.empty()) {
-      for (auto& w : workers_) outbox_ptrs_.push_back(&w.outbox);
-    }
-    net_->flush_outboxes(outbox_ptrs_.data(), outbox_ptrs_.size());
+void ParallelMachine::compute_horizons() {
+  hmap_->relax(node_key_, &node_bound_);
+  horizons_.resize(node_bound_.size());
+  for (std::size_t i = 0; i < node_bound_.size(); ++i) {
+    // Fold the node's own key back in with hops = 0: the runtime does emit
+    // genuine self-packets (e.g. a remote-create whose placement picks the
+    // caller's node), and those travel through Network::send with the same
+    // wire floor as any other packet. Excluding the self term would let a
+    // node run past the arrival of a packet it has not sent yet.
+    horizons_[i] = sat_add(std::min(node_bound_[i], node_key_[i]), dist_base_);
   }
+}
 
-  trace_merge_.clear();
+void ParallelMachine::flush_commits() {
+  if (net_ == nullptr) return;
+  // Commit every buffered send in canonical (quantum key, src) order —
+  // the exact order the serial driver would have issued them.
+  if (outbox_ptrs_.empty()) {
+    for (auto& w : workers_) outbox_ptrs_.push_back(&w.outbox);
+  }
+  net_->flush_outboxes(outbox_ptrs_.data(), outbox_ptrs_.size());
+}
+
+void ParallelMachine::replay_traces(Instr frontier) {
+  const std::size_t carry = trace_merge_.size();
   for (auto& w : workers_) {
     trace_merge_.insert(trace_merge_.end(), w.traces.items_.begin(),
                         w.traces.items_.end());
     w.traces.items_.clear();
   }
-  if (!trace_merge_.empty()) {
-    // Serial execution order is ascending (quantum key, node); each node's
-    // events live in one worker's buffer in program order, which the stable
-    // sort preserves.
-    std::stable_sort(trace_merge_.begin(), trace_merge_.end(),
-                     [](const WindowTraceBuffer::Tagged& a,
-                        const WindowTraceBuffer::Tagged& b) {
-                       if (a.key != b.key) return a.key < b.key;
-                       return a.ev.node < b.ev.node;
-                     });
-    for (const auto& t : trace_merge_) {
-      Tracer* dst = saved_tracers_[static_cast<std::size_t>(t.ev.node)];
-      if (dst != nullptr) dst->record(t.ev.t, t.ev.node, t.ev.kind, t.ev.payload);
+  if (trace_merge_.empty()) return;
+  // Serial execution order is ascending (quantum key, node); each node's
+  // events live in one worker's buffer in program order, which the stable
+  // sort preserves. The carried suffix from earlier windows is already
+  // sorted and precedes this window's events of any equal (key, node) in
+  // program order, so the merge keeps it first.
+  auto cmp = [](const WindowTraceBuffer::Tagged& a,
+                const WindowTraceBuffer::Tagged& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.ev.node < b.ev.node;
+  };
+  if (trace_merge_.size() > carry) {
+    std::stable_sort(
+        trace_merge_.begin() + static_cast<std::ptrdiff_t>(carry),
+        trace_merge_.end(), cmp);
+    if (carry > 0) {
+      std::inplace_merge(trace_merge_.begin(),
+                         trace_merge_.begin() +
+                             static_cast<std::ptrdiff_t>(carry),
+                         trace_merge_.end(), cmp);
     }
-    trace_merge_.clear();
+  }
+  // Replay everything strictly below the next window's floor key: no later
+  // window can produce an event below it. Under the flat horizon that is
+  // always the whole buffer; under distance horizons the remainder carries.
+  std::size_t n = 0;
+  while (n < trace_merge_.size() && trace_merge_[n].key < frontier) {
+    const auto& t = trace_merge_[n];
+    Tracer* dst = saved_tracers_[static_cast<std::size_t>(t.ev.node)];
+    if (dst != nullptr) dst->record(t.ev.t, t.ev.node, t.ev.kind, t.ev.payload);
+    ++n;
+  }
+  trace_merge_.erase(trace_merge_.begin(),
+                     trace_merge_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void ParallelMachine::install_node(NodeId id, Worker& w) {
+  if (saved_tracers_[static_cast<std::size_t>(id)] != nullptr) {
+    nodes_[static_cast<std::size_t>(id)]->swap_tracer(&w.traces);
+  }
+  if (net_ != nullptr) {
+    net_->set_outbox(id, &w.outbox);
+    net_->set_poll_magazine(id, &w.magazine);
+  }
+}
+
+void ParallelMachine::apply_rebalance() {
+  const int moved = balancer_->rebalance(window_quanta_.data());
+  if (moved == 0) return;
+  rebalances_ += 1;
+  shard_moves_ += static_cast<std::uint64_t>(moved);
+  // Rebuild every shard from the new assignment and reinstall the per-node
+  // redirection pointers (outbox, poll magazine, trace buffer). Outboxes
+  // and trace buffers are drained at this point — the barrier's flush and
+  // replay just ran — so moving a node never splits its program order
+  // across two buffers within one window. Reinstalling unmoved nodes
+  // rewrites the same pointers; cheaper than tracking the diff.
+  const auto& asg = balancer_->assignment();
+  for (auto& w : workers_) w.shard.clear();
+  for (std::size_t i = 0; i < asg.size(); ++i) {
+    Worker& w = workers_[static_cast<std::size_t>(asg[i])];
+    w.shard.push_back(static_cast<NodeId>(i));
+    install_node(static_cast<NodeId>(i), w);
   }
 }
 
 void ParallelMachine::notify_work(NodeId dst) {
   Instr k = effective_key(*nodes_[static_cast<std::size_t>(dst)]);
   if (k < notified_min_) notified_min_ = k;
+  if (distance_) node_key_[static_cast<std::size_t>(dst)] = k;
 }
 
 Driver::RunReport ParallelMachine::run(Instr max_time) {
@@ -155,6 +250,7 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
       }
     }
   }
+  if (net_ != nullptr) net_->set_windowed_stats(true);
 
   const bool threaded = workers_.size() > 1;
   if (threaded) {
@@ -167,20 +263,21 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
     }
   }
 
-  // One full scan seeds the window loop; afterwards the next window's floor
-  // is maintained incrementally — each worker reports its shard's min key
-  // (O(P/T) in parallel instead of an O(P) serial rescan) and flush-time
-  // deliveries fold in through notify_work.
+  // One full scan seeds the window loop (and, under distance horizons, the
+  // per-node key vector); afterwards both are maintained incrementally —
+  // each worker reports its shard's keys and flush-time deliveries fold in
+  // through notify_work.
   Instr min_key = kInstrInf;
-  for (NodeExec* n : nodes_) {
-    Instr k = effective_key(*n);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Instr k = effective_key(*nodes_[i]);
+    if (distance_) node_key_[i] = k;
     if (k < min_key) min_key = k;
   }
 
   while (min_key != kInstrInf && min_key <= max_time) {
-    window_horizon_ = (min_key > kInstrInf - lookahead_) ? kInstrInf
-                                                         : min_key + lookahead_;
+    window_horizon_ = sat_add(min_key, lookahead_);
     window_max_time_ = max_time;
+    if (distance_) compute_horizons();
 
     if (threaded) {
       std::uint64_t e = epoch_.fetch_add(1, std::memory_order_release) + 1;
@@ -203,13 +300,19 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
     }
 
     notified_min_ = kInstrInf;
-    flush_window();
-    ++windows_;
-
+    flush_commits();
     min_key = notified_min_;
     for (auto& w : workers_) {
       if (w.shard_min < min_key) min_key = w.shard_min;
+      occupancy_sum_ += w.active;
     }
+    // min_key is the next window's floor: every later quantum (and so every
+    // later send or trace event) carries a key >= it. Release the deferred
+    // order-sensitive observables up to that frontier.
+    if (net_ != nullptr) net_->drain_deferred_wire_stats(min_key);
+    replay_traces(min_key);
+    ++windows_;
+    if (balancer_ != nullptr) apply_rebalance();
   }
 
   if (threaded) {
@@ -220,6 +323,15 @@ Driver::RunReport ParallelMachine::run(Instr max_time) {
     for (auto& t : threads_) t.join();
     threads_.clear();
   }
+
+  // Exiting the loop means min_key exceeded max_time (or went infinite);
+  // every executed quantum had key <= max_time < that final frontier, so
+  // both reorder buffers drained completely.
+  if (net_ != nullptr) {
+    ABCL_CHECK(net_->deferred_wire_samples() == 0);
+    net_->set_windowed_stats(false);
+  }
+  ABCL_CHECK(trace_merge_.empty());
 
   // Restore tracers and the direct send/release paths. Worker threads are
   // joined (or never existed), so draining their magazines back to the

@@ -1,35 +1,63 @@
 // Host-parallel conservative PDES driver.
 //
-// Bounded-window synchronization: each round computes
+// Bounded-window synchronization. Under the default flat policy each round
+// computes
 //   horizon = min(effective key over all nodes) + lookahead
 // where lookahead is the minimum positive latency any packet can have
 // (net::Network::min_packet_latency). Every quantum with key < horizon is
 // independent of every send issued inside the window — such a send arrives
 // at >= min_key + lookahead = horizon — so a fixed pool of worker threads
-// executes all of them concurrently, each node statically sharded to one
-// worker (node id mod thread count).
+// executes all of them concurrently.
+//
+// Distance-aware horizons (HorizonKind::kDistance): the flat bound ignores
+// that a packet from j to i is priced at >= lookahead + per_hop *
+// hops(j, i), so node i may instead run to the per-node horizon
+//   H_i = lookahead + min_{j != i} (key_j + per_hop * hops(j, i))
+// computed each window by sim::HorizonMap in O(N) (see lookahead.hpp for the
+// exclude-self transforms and why excluding j == i is sound: the runtime
+// never sends to its own node). Windows get wider the farther a node sits
+// from the global minimum — an isolated busy node runs to quiescence in one
+// window — which only changes *when* barriers happen, never what executes:
+// any conservative window executes the same quanta with the same inputs as
+// the serial driver.
 //
 // Determinism: workers never touch the shared network state. Sends are
 // buffered into per-worker outboxes, stamped with the issuing quantum's
 // key, and committed at the window barrier in canonical order — ascending
-// (quantum key, src), preserving per-node program order — which is exactly
-// the order the serial Machine would have issued them. Seq numbers, channel
-// floors, Network::Stats (Welford updates included), and trace output are
-// therefore bit-identical to a serial run at any thread count. Trace events
-// are likewise buffered per worker and replayed sorted by (quantum key,
-// node) into the originally attached tracers.
+// (quantum key, src), preserving per-node program order. Seq numbers and
+// channel floors are per-src/per-channel, so they only need each source's
+// program order, which any window shape preserves. The two *globally*
+// order-sensitive observables — the network's Welford wire-latency stat and
+// trace replay — are reordered behind the global key frontier: each barrier
+// computes the next window's floor key F (no later quantum, hence no later
+// send or trace event, can carry a key < F), drains the network's deferred
+// stat samples below F (Network::drain_deferred_wire_stats) and replays
+// buffered trace events below F sorted by (key, node), carrying the rest.
+// Under the flat policy every window drains completely (all keys < horizon
+// <= F) and the behavior is exactly the historical one; under distance
+// horizons the carry reconstructs the serial global order across windows.
+// Either way the results are bit-identical to a serial run at any thread
+// count.
+//
+// Shard policy: nodes map statically to workers (node id mod thread count)
+// or, under ShardKind::kBalanced, are reassigned at window barriers by
+// sim::ShardBalancer from per-node committed-quantum EWMAs — a pure
+// function of simulated state, so the assignment history is itself
+// bit-identical at any thread count. Reassignment happens only between
+// windows, when outboxes and trace buffers are drained, so each source
+// still lives in exactly one outbox per window and the canonical commit
+// order (and with it every simulated result) is untouched.
 //
 // Thread-safety partition during a window: a worker touches only its own
 // nodes' state, those nodes' destination queues (poll side), its own outbox,
-// trace buffer and packet-pool magazine. The shared mutable state is the
-// network's in-flight counter (atomic) and the packet pool's depot, which a
-// worker only reaches through its magazine's overflow path (mutex-guarded,
-// amortized one trip per kMagazineCap frees).
-//
-// Commit-path parallelism: under the network's default kMerge flush, each
-// worker stable-sorts its own outbox into canonical (quantum key, src)
-// order at the end of its window — inside the parallel region — so the
-// coordinator's flush only runs an N-way merge over pre-sorted runs.
+// trace buffer and packet-pool magazine, plus its nodes' slots in the
+// per-node key/quanta arrays (disjoint indices). The shared mutable state is
+// the network's in-flight counter (atomic) and the packet pool's depot,
+// which a worker only reaches through its magazine's overflow path
+// (mutex-guarded, amortized one trip per kMagazineCap frees). Window
+// parameters — horizon, per-node horizon vector, shard vectors — are
+// written by the coordinator between windows and published by the
+// release/acquire pair on epoch_.
 //
 // Epoch waits are spin-then-park: a bounded busy-wait burst (skipped
 // entirely on single-core hosts, where spinning only steals cycles from
@@ -41,22 +69,40 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/network.hpp"
+#include "sim/lookahead.hpp"
 #include "sim/machine.hpp"
+#include "sim/shard_balance.hpp"
 #include "sim/trace.hpp"
 
 namespace abcl::sim {
 
+// Policy knobs of the parallel driver (namespace-scope so the in-class
+// default argument below can use the member initializers).
+struct ParallelOptions {
+  HorizonKind horizon = HorizonKind::kGlobal;
+  ShardKind shard = ShardKind::kStatic;
+  std::uint64_t seed = 1;  // balancer tie-break stream (the world seed)
+};
+
 class ParallelMachine : public Driver {
  public:
+  using Options = ParallelOptions;
+
   // `net` may be nullptr for driver-only unit tests (lookahead falls back
-  // to 1 and sends are not redirected). `num_threads` is clamped to >= 1.
+  // to 1, sends are not redirected, and the horizon policy falls back to
+  // kGlobal — distance bounds need the network's topology and cost model).
+  // `num_threads` is clamped to >= 1. Distance horizons also fall back to
+  // the flat bound when fault injection is enabled: the issue's contract is
+  // the analytic per-pair pricing, and the retry protocol's effective wire
+  // times are easiest to bound globally.
   ParallelMachine(std::vector<NodeExec*> nodes, net::Network* net,
-                  int num_threads);
+                  int num_threads, Options opts = Options());
   ~ParallelMachine() override;
 
   // Only ever invoked on the coordinator thread (commits happen at window
@@ -68,6 +114,22 @@ class ParallelMachine : public Driver {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
   std::uint64_t windows_run() const { return windows_; }
+  // Sum over windows of nodes that executed >= 1 quantum: occupancy_sum /
+  // windows_run is the mean window occupancy. A function of simulated state
+  // only — identical at any thread count for a given horizon policy.
+  std::uint64_t occupancy_sum() const { return occupancy_sum_; }
+  // Barrier-time reassignments applied / individual node moves. Zero under
+  // kStatic and on single-worker runs; depends on the worker count (but
+  // never on anything simulated-observable).
+  std::uint64_t rebalances() const { return rebalances_; }
+  std::uint64_t shard_moves() const { return shard_moves_; }
+  // Effective policies after the nullptr-net / fault-injection fallbacks.
+  HorizonKind horizon_kind() const {
+    return distance_ ? HorizonKind::kDistance : HorizonKind::kGlobal;
+  }
+  ShardKind shard_kind() const {
+    return balancer_ != nullptr ? ShardKind::kBalanced : ShardKind::kStatic;
+  }
 
  private:
   // Tracer interposer: tags each event with the key of the quantum that
@@ -99,6 +161,8 @@ class ParallelMachine : public Driver {
     net::PacketPool::Magazine magazine;
     WindowTraceBuffer traces;
     std::uint64_t quanta = 0;
+    // Nodes of this shard that executed >= 1 quantum in the last window.
+    std::uint64_t active = 0;
     // Min effective key across the shard after the window's execution
     // (published to the coordinator by the release-store on `done`).
     Instr shard_min = kInstrInf;
@@ -108,14 +172,20 @@ class ParallelMachine : public Driver {
   Instr effective_key(NodeExec& n) const;
   void run_shard(Worker& w);
   void worker_main(Worker& w);
-  void flush_window();
+  void compute_horizons();
+  void flush_commits();
+  void replay_traces(Instr frontier);
+  void install_node(NodeId id, Worker& w);
+  void apply_rebalance();
 
   net::Network* net_;
   Instr lookahead_;
   std::vector<Worker> workers_;
+  bool distance_;  // effective horizon policy (see ctor fallbacks)
 
   // Window parameters, written by the coordinator before it releases an
-  // epoch; the release/acquire pair on epoch_ publishes them.
+  // epoch; the release/acquire pair on epoch_ publishes them (along with
+  // horizons_ and any shard reassignment).
   Instr window_horizon_ = 0;
   Instr window_max_time_ = kInstrInf;
 
@@ -131,13 +201,35 @@ class ParallelMachine : public Driver {
   std::condition_variable epoch_cv_;  // workers park here between windows
   std::condition_variable done_cv_;   // coordinator parks here at barriers
 
+  // Distance-horizon state: per-node window-start keys (each worker writes
+  // only its shard's slots; the coordinator folds flush-time deliveries in
+  // via notify_work) and the per-node horizons derived from them.
+  std::unique_ptr<HorizonMap> hmap_;
+  // Unclamped wire floor for the per-pair bound (see ctor); the clamped
+  // lookahead_ stays the flat policy's window width.
+  Instr dist_base_ = 1;
+  std::vector<Instr> node_key_;
+  std::vector<Instr> node_bound_;  // relax() scratch
+  std::vector<Instr> horizons_;
+
+  // Balanced-shard state: per-node quanta of the current window (worker-
+  // written, disjoint slots) feeding the balancer's EWMAs at each barrier.
+  std::unique_ptr<ShardBalancer> balancer_;
+  std::vector<std::uint64_t> window_quanta_;
+
   // Replay scratch + original tracers saved across a run() while buffers
   // are interposed (index = node id; nullptr = node had no tracer).
+  // trace_merge_ persists across windows under distance horizons: the
+  // (key, node)-sorted suffix at or beyond the key frontier carries over
+  // until the frontier passes it.
   std::vector<net::Network::Outbox*> outbox_ptrs_;
   std::vector<WindowTraceBuffer::Tagged> trace_merge_;
   std::vector<Tracer*> saved_tracers_;
   Instr notified_min_ = kInstrInf;  // min key among flush-time deliveries
   std::uint64_t windows_ = 0;
+  std::uint64_t occupancy_sum_ = 0;
+  std::uint64_t rebalances_ = 0;
+  std::uint64_t shard_moves_ = 0;
   std::uint64_t quanta_ = 0;
 };
 

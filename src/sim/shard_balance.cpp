@@ -1,0 +1,79 @@
+#include "sim/shard_balance.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace abcl::sim {
+
+namespace {
+// EWMA with a ~4-window memory: ewma' = (3 * ewma + (q << kEwmaScale)) / 4.
+// The fixed-point scale keeps single-quantum windows from rounding to zero
+// against the 3/4 decay.
+constexpr int kEwmaScale = 8;
+}  // namespace
+
+ShardBalancer::ShardBalancer(std::int32_t nodes, int workers,
+                             std::uint64_t seed)
+    : workers_(workers < 1 ? 1 : workers), seed_(seed) {
+  ABCL_CHECK(nodes >= 1);
+  const auto n = static_cast<std::size_t>(nodes);
+  assignment_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment_[i] =
+        static_cast<std::int32_t>(i % static_cast<std::size_t>(workers_));
+  }
+  ewma_.assign(n, 0);
+  // decide_shed-style roll: a short SplitMix chain over (seed, node). The
+  // roll is per node, not per window, so equal-load orderings are stable
+  // and a balanced assignment stops churning once loads settle.
+  tiebreak_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t x = seed_ ^ (0x9e3779b97f4a7c15ull * (i + 1));
+    x = util::splitmix64(x);
+    tiebreak_[i] = util::splitmix64(x);
+  }
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<std::int32_t>(i);
+  load_.assign(static_cast<std::size_t>(workers_), 0);
+}
+
+int ShardBalancer::rebalance(std::uint64_t* window_quanta) {
+  const std::size_t n = ewma_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ewma_[i] = (3 * ewma_[i] + (window_quanta[i] << kEwmaScale)) / 4;
+    window_quanta[i] = 0;
+  }
+  if (workers_ <= 1) return 0;
+
+  // Largest-processing-time greedy: nodes in (ewma desc, roll, id) order,
+  // each onto the least-loaded worker so far (ties to the lowest index).
+  std::sort(order_.begin(), order_.end(),
+            [this](std::int32_t a, std::int32_t b) {
+              const auto ia = static_cast<std::size_t>(a);
+              const auto ib = static_cast<std::size_t>(b);
+              if (ewma_[ia] != ewma_[ib]) return ewma_[ia] > ewma_[ib];
+              if (tiebreak_[ia] != tiebreak_[ib]) {
+                return tiebreak_[ia] < tiebreak_[ib];
+              }
+              return a < b;
+            });
+  std::fill(load_.begin(), load_.end(), 0);
+  int moved = 0;
+  for (std::int32_t id : order_) {
+    std::size_t best = 0;
+    for (std::size_t w = 1; w < load_.size(); ++w) {
+      if (load_[w] < load_[best]) best = w;
+    }
+    load_[best] += ewma_[static_cast<std::size_t>(id)];
+    auto& slot = assignment_[static_cast<std::size_t>(id)];
+    if (slot != static_cast<std::int32_t>(best)) {
+      slot = static_cast<std::int32_t>(best);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+}  // namespace abcl::sim

@@ -14,7 +14,24 @@ namespace {
 // any malloc/ASLR region; each arena claims one kSlotBytes slot. A restore
 // maps at an exact recorded base instead, so the auto path probes forward
 // past slots an earlier restore may still occupy.
+//
+// TSan's mmap interceptor aborts the process on fixed maps that land
+// outside its application address ranges, and 0x5a00'0000'0000 is not in
+// them; the classic x86_64 layout keeps [0x7e80'0000'0000, 0x8000'0000'0000)
+// app-mappable, so the slot window parks there under TSan. Snapshots are
+// restored by the build that wrote them, so the two windows never mix.
+#if defined(__SANITIZE_THREAD__)
+#define ABCL_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ABCL_TSAN_BUILD 1
+#endif
+#endif
+#ifdef ABCL_TSAN_BUILD
+constexpr std::uint64_t kFirstSlotBase = 0x7e80'0000'0000ull;
+#else
 constexpr std::uint64_t kFirstSlotBase = 0x5a00'0000'0000ull;
+#endif
 std::atomic<std::uint64_t> g_next_slot{0};
 
 void* map_reservation(std::uint64_t base) {

@@ -20,6 +20,7 @@
 #include "fuzz/oracle.hpp"
 #include "fuzz/program_gen.hpp"
 #include "obs/json.hpp"
+#include "sim/parallel_machine.hpp"
 
 namespace {
 
@@ -265,6 +266,7 @@ TEST(CkptWorld, ResumedQuantaAccountingAcrossRestore) {
 
   fuzz::FuzzWorld fw(spec, kSerial, nullptr, sim::CostModel::ap1000(),
                      util::QueueKind::kBucket, net::FlushKind::kMerge,
+                     sim::HorizonKind::kGlobal, sim::ShardKind::kStatic,
                      at_config(at));
   RunReport r1 = fw.world().run();
   EXPECT_EQ(r1.stop_reason, StopReason::kCheckpointRequested);
@@ -297,7 +299,8 @@ TEST(CkptWorld, FileCheckpointIsTransparentAndRecaptureRoundTrips) {
   // boundary and resumes inside the same run() call, so a
   // checkpoint-unaware caller sees the uninterrupted run's results.
   fuzz::FuzzWorld fw(spec, kSerial, nullptr, sim::CostModel::ap1000(),
-                     util::QueueKind::kBucket, net::FlushKind::kMerge, ck);
+                     util::QueueKind::kBucket, net::FlushKind::kMerge,
+                     sim::HorizonKind::kGlobal, sim::ShardKind::kStatic, ck);
   RunReport r1 = fw.world().run();
   EXPECT_EQ(r1.stop_reason, StopReason::kQuiesced);
   EXPECT_EQ(r1.quanta, base.quanta);
@@ -326,6 +329,40 @@ TEST(CkptWorld, FileCheckpointIsTransparentAndRecaptureRoundTrips) {
   std::remove(ck.path.c_str());
 }
 
+TEST(CkptWorld, SnapshotCarriesWindowAndShardPolicies) {
+  // v2 snapshots record the horizon/shard knobs: a world checkpointed under
+  // (distance, balanced) restores under (distance, balanced) even when the
+  // restore overrides the thread count — the override swaps the driver
+  // width, never the policy.
+  const fuzz::Spec spec = fuzz::generate(2);
+  const fuzz::RunResult base = fuzz::run_spec(spec, kSerial);
+  const std::uint64_t at = base.sim_time / 2 + 1;
+
+  fuzz::FuzzWorld fw(spec, /*host_threads=*/8, nullptr,
+                     sim::CostModel::ap1000(), util::QueueKind::kBucket,
+                     net::FlushKind::kMerge, sim::HorizonKind::kDistance,
+                     sim::ShardKind::kBalanced, at_config(at));
+  RunReport r1 = fw.world().run();
+  EXPECT_EQ(r1.stop_reason, StopReason::kCheckpointRequested);
+  ckpt::MemSink sink;
+  fw.checkpoint_to(sink);
+
+  for (int restore_threads : {0, 2}) {
+    ckpt::MemSource src(sink.bytes());
+    fw.restore_world(src, nullptr, restore_threads);
+    EXPECT_EQ(fw.world().config().horizon, sim::HorizonKind::kDistance);
+    EXPECT_EQ(fw.world().config().shard, sim::ShardKind::kBalanced);
+    auto* pm = dynamic_cast<sim::ParallelMachine*>(&fw.world().machine());
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->horizon_kind(), sim::HorizonKind::kDistance);
+    EXPECT_EQ(pm->shard_kind(), sim::ShardKind::kBalanced);
+    RunReport r2 = fw.world().run();
+    EXPECT_EQ(r2.stop_reason, StopReason::kQuiesced);
+    EXPECT_EQ(r2.sim_time, base.sim_time);
+    EXPECT_TRUE(fw.latch().done());
+  }
+}
+
 // ------------------------------------------- never a partial world ---------
 
 std::string snapshot_bytes(std::uint64_t seed) {
@@ -333,6 +370,7 @@ std::string snapshot_bytes(std::uint64_t seed) {
   const fuzz::RunResult base = fuzz::run_spec(spec, kSerial);
   fuzz::FuzzWorld fw(spec, kSerial, nullptr, sim::CostModel::ap1000(),
                      util::QueueKind::kBucket, net::FlushKind::kMerge,
+                     sim::HorizonKind::kGlobal, sim::ShardKind::kStatic,
                      at_config(base.sim_time / 2 + 1));
   fw.world().run();
   ckpt::MemSink sink;

@@ -196,6 +196,28 @@ TEST(Network, ChannelFifoEvenWithReorderedSendTimes) {
   EXPECT_EQ(out.at(0), 2u);
 }
 
+TEST(Network, MinPacketLatencyCachedAndClampedToOne) {
+  // ap1000: the floor is wire_latency plus the 4 mandatory header words;
+  // nonzero, so clamped and raw agree.
+  sim::CostModel cm = sim::CostModel::ap1000();
+  auto net = make_net(16, &cm);
+  EXPECT_EQ(net.min_packet_latency_raw(), cm.wire_latency + 4 * cm.per_word);
+  EXPECT_EQ(net.min_packet_latency(), net.min_packet_latency_raw());
+
+  // Free wire + free words (per-hop-only pricing, which still satisfies the
+  // wire_latency + per_hop > 0 invariant): the effective lookahead clamps up
+  // to 1 — a zero-width window could never advance — while the raw floor
+  // stays 0, because the distance horizon adds hops * per_hop on top and
+  // must not double-count the clamp the commit path applies.
+  sim::CostModel free_wire = sim::CostModel::zero();
+  free_wire.wire_latency = 0;
+  free_wire.per_word = 0;
+  free_wire.per_hop = 1;
+  auto net0 = make_net(16, &free_wire);
+  EXPECT_EQ(net0.min_packet_latency_raw(), 0);
+  EXPECT_EQ(net0.min_packet_latency(), 1);
+}
+
 TEST(Network, InFlightCountsAndStats) {
   sim::CostModel cm = sim::CostModel::ap1000();
   auto net = make_net(4, &cm);
